@@ -1,0 +1,126 @@
+package fdw_test
+
+// One benchmark per table/figure in the paper's evaluation (see
+// DESIGN.md §4). Each bench regenerates its figure at a reduced scale
+// so the full suite runs in seconds; `go run ./cmd/fdwexp -scale 1 all`
+// regenerates the paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"fdw"
+)
+
+// benchOptions shrinks the workloads: one repetition, 3% scale.
+func benchOptions() fdw.ExperimentOptions {
+	opt := fdw.DefaultExperimentOptions()
+	opt.Seeds = []uint64{11}
+	opt.Scale = 0.03
+	return opt
+}
+
+// BenchmarkFig1RuptureWaveform generates the Fig. 1 data products with
+// the real numeric kernels: a stochastic rupture and GNSS waveforms.
+func BenchmarkFig1RuptureWaveform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := fdw.Fig1(uint64(i+1), 8.1, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2QuantitySweep reruns the increasing-quantities
+// experiment: six waveform quantities × two station lists.
+func BenchmarkFig2QuantitySweep(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Fig2(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ConcurrentDAGMans reruns the 1/2/4/8 concurrent-DAGMan
+// partitioning comparison.
+func BenchmarkFig3ConcurrentDAGMans(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Fig3(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4JobTimeSeries reruns the per-job execution/wait
+// distribution and per-second footprint collection.
+func BenchmarkFig4JobTimeSeries(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Fig4(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Bursting reruns the uncapped probe×queue bursting sweep
+// over two generated batch traces.
+func BenchmarkFig5Bursting(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Fig5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6BurstingCost reruns the sweep with the 30% cap — the
+// Fig. 6 cost/runtime comparison.
+func BenchmarkFig6BurstingCost(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Fig6(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadlineSpeedup reruns the §6 FDW-vs-single-machine
+// comparison and the 1,024→50,000 throughput gain.
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	opt := benchOptions()
+	opt.Scale = 0.1
+	for i := 0; i < b.N; i++ {
+		opt.Seeds = []uint64{uint64(11 + i)}
+		if _, err := fdw.Headline(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkflow16k measures one full-scale 16,000-waveform DAGMan
+// on the simulated pool — the unit of the paper's §4.2 experiment —
+// to document simulator throughput (simulated hours per wall second).
+func BenchmarkWorkflow16k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := fdw.NewEnv(uint64(31+i), fdw.DefaultPoolConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := fdw.DefaultConfig()
+		cfg.Name = "bench16k"
+		cfg.Waveforms = 16000
+		cfg.Seed = uint64(31 + i)
+		w, err := fdw.NewWorkflow(cfg, env, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fdw.RunBatch(env, []*fdw.Workflow{w}, 1000*3600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

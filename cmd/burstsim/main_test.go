@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	batchCSV = "batch,submit,start,end\nb1,0,100,4000\n"
+	jobsCSV  = "job,class,submit,start,end\n" +
+		"1.0,waveform,0,1800,2800\n" +
+		"1.1,waveform,30,2000,3000\n" +
+		"1.2,waveform,60,3000,4000\n" +
+		"1.3,rupture,0,100,250\n"
+)
+
+func writeTraces(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "batch.csv")
+	jp := filepath.Join(dir, "jobs.csv")
+	if err := os.WriteFile(bp, []byte(batchCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jp, []byte(jobsCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bp, jp
+}
+
+func TestBurstsimControl(t *testing.T) {
+	bp, jp := writeTraces(t)
+	if err := run(bp, jp, 0, 34, 0, 0, 0.0017, 0.3, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstsimAllPoliciesAndSeries(t *testing.T) {
+	bp, jp := writeTraces(t)
+	series := filepath.Join(t.TempDir(), "series.csv")
+	if err := run(bp, jp, 5, 34, 20, 10, 0.0017, 0.5, series); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "second,instant_jpm") {
+		t.Fatal("series CSV malformed")
+	}
+}
+
+func TestBurstsimMissingFiles(t *testing.T) {
+	bp, _ := writeTraces(t)
+	if err := run(bp, "/nonexistent/jobs.csv", 0, 34, 0, 0, 0.0017, 0.3, ""); err == nil {
+		t.Fatal("missing jobs file accepted")
+	}
+	if err := run("/nonexistent/batch.csv", bp, 0, 34, 0, 0, 0.0017, 0.3, ""); err == nil {
+		t.Fatal("missing batch file accepted")
+	}
+}
+
+func TestBurstsimRejectsCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,real\ntrace,file,x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, jp := writeTraces(t)
+	if err := run(bad, jp, 0, 34, 0, 0, 0.0017, 0.3, ""); err == nil {
+		t.Fatal("corrupt batch trace accepted")
+	}
+}

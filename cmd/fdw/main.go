@@ -1,0 +1,131 @@
+// Command fdw runs a FakeQuakes DAGMan Workflow on the simulated Open
+// Science Pool and reports the monitoring statistics the paper's shell
+// scripts compute, optionally writing the HTCondor user log and the
+// batch/job trace CSVs the bursting simulator consumes.
+//
+// Usage:
+//
+//	fdw [flags]
+//	fdw -config fdw.cfg -log run.log -trace-dir traces/
+//
+// With no -config, flags select the workload directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fdw"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "FDW configuration file (key = value)")
+		name       = flag.String("name", "fdw", "batch name")
+		waveforms  = flag.Int("waveforms", 1024, "number of waveforms to simulate")
+		stations   = flag.Int("stations", 121, "GNSS station list length (2 or 121 in the paper)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		logPath    = flag.String("log", "", "write the HTCondor user log here")
+		traceDir   = flag.String("trace-dir", "", "write batch.csv and jobs.csv traces here")
+		horizonH   = flag.Float64("horizon", 1000, "simulation horizon (hours)")
+		emitDir    = flag.String("emit", "", "write fdw.dag + submit files here instead of running")
+	)
+	flag.Parse()
+	if *emitDir != "" {
+		cfg := fdw.DefaultConfig()
+		cfg.Name, cfg.Waveforms, cfg.Stations, cfg.Seed = *name, *waveforms, *stations, *seed
+		if err := fdw.WriteArtifacts(cfg, *emitDir); err != nil {
+			fmt.Fprintln(os.Stderr, "fdw:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifacts written to %s (fdw.dag, fdw.cfg, 4 submit files)\n", *emitDir)
+		return
+	}
+	if err := run(*configPath, *name, *waveforms, *stations, *seed, *logPath, *traceDir, *horizonH); err != nil {
+		fmt.Fprintln(os.Stderr, "fdw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, name string, waveforms, stations int, seed uint64, logPath, traceDir string, horizonH float64) error {
+	cfg := fdw.DefaultConfig()
+	if configPath != "" {
+		f, err := os.Open(configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = fdw.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg.Name = name
+		cfg.Waveforms = waveforms
+		cfg.Stations = stations
+		cfg.Seed = seed
+	}
+
+	env, err := fdw.NewEnv(cfg.Seed, fdw.DefaultPoolConfig())
+	if err != nil {
+		return err
+	}
+	var logW *os.File
+	if logPath != "" {
+		logW, err = os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer logW.Close()
+	}
+	var w *fdw.Workflow
+	if logW != nil {
+		w, err = fdw.NewWorkflow(cfg, env, logW)
+	} else {
+		w, err = fdw.NewWorkflow(cfg, env, nil)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitting DAGMan %q: %d waveforms, %d stations (seed %d)\n",
+		cfg.Name, cfg.Waveforms, cfg.Stations, cfg.Seed)
+	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, fdw.SimTime(horizonH*3600)); err != nil {
+		return err
+	}
+
+	fmt.Printf("workflow finished in %.2f simulated hours (%.2f jobs/min)\n",
+		w.RuntimeHours(), w.ThroughputJPM())
+	started, completed, evictions := env.Pool.Stats()
+	fmt.Printf("pool: %d starts, %d completions, %d evictions; stash hit rate %.0f%%\n",
+		started, completed, evictions, env.Cache.HitRate()*100)
+
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+		batch, jobs, err := fdw.TraceFromWorkflow(w)
+		if err != nil {
+			return err
+		}
+		bf, err := os.Create(filepath.Join(traceDir, "batch.csv"))
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		if err := fdw.WriteBatchCSV(bf, batch); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(traceDir, "jobs.csv"))
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		if err := fdw.WriteJobsCSV(jf, jobs); err != nil {
+			return err
+		}
+		fmt.Printf("traces written to %s (batch.csv, jobs.csv — burstsim input)\n", traceDir)
+	}
+	return nil
+}

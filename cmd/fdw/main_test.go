@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWithFlags(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "run.log")
+	traceDir := filepath.Join(dir, "traces")
+	err := run("", "clitest", 64, 2, 3, logPath, traceDir, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(log), "Job terminated") {
+		t.Fatal("user log has no termination events")
+	}
+	for _, f := range []string{"batch.csv", "jobs.csv"} {
+		if _, err := os.Stat(filepath.Join(traceDir, f)); err != nil {
+			t.Fatalf("missing trace %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "fdw.cfg")
+	cfg := "name = from-file\nwaveforms = 64\nstations = 2\nseed = 4\n"
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfgPath, "", 0, 0, 0, "", "", 48); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "bad.cfg")
+	if err := os.WriteFile(cfgPath, []byte("nonsense = here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfgPath, "", 0, 0, 0, "", "", 48); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.cfg"), "", 0, 0, 0, "", "", 48); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunRejectsImpossibleHorizon(t *testing.T) {
+	if err := run("", "h", 2000, 121, 1, "", "", 0.01); err == nil {
+		t.Fatal("a 36-second horizon should not finish 2000 waveforms")
+	}
+}

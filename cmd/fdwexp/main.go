@@ -1,0 +1,160 @@
+// Command fdwexp regenerates the paper's evaluation: one subcommand
+// per figure plus the §6 headline numbers.
+//
+// Usage:
+//
+//	fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|all
+//
+// Flags:
+//
+//	-scale f   workload scale (1.0 = the paper's quantities)
+//	-seeds n   repetitions (the paper uses 3)
+//
+// fig5 runs the bursting sweep uncapped (VDC usage, §5.3.1–5.3.2);
+// fig6 reruns it with the paper's 30% bursted-job cap for the cost and
+// runtime comparison (§5.3.3–5.3.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fdw"
+	"fdw/internal/expt"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (0,1]")
+		seeds  = flag.Int("seeds", 3, "number of repetitions")
+		csvDir = flag.String("csv", "", "also write the figure data as CSV into this directory")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|all")
+		os.Exit(2)
+	}
+	opt := fdw.DefaultExperimentOptions()
+	opt.Scale = *scale
+	opt.Out = os.Stdout
+	opt.Seeds = nil
+	for i := 0; i < *seeds; i++ {
+		opt.Seeds = append(opt.Seeds, uint64(11+13*i))
+	}
+	if err := dispatch(flag.Arg(0), opt, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "fdwexp:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV saves figure data under dir when -csv is set.
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dispatch(cmd string, opt fdw.ExperimentOptions, csvDir string) error {
+	switch cmd {
+	case "fig1":
+		return runFig1()
+	case "fig2":
+		rows, err := fdw.Fig2(opt)
+		if err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "fig2.csv", func(w io.Writer) error { return expt.WriteFig2CSV(w, rows) })
+	case "fig3":
+		rows, err := fdw.Fig3(opt)
+		if err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "fig3.csv", func(w io.Writer) error { return expt.WriteFig3CSV(w, rows) })
+	case "fig4":
+		data, err := fdw.Fig4(opt)
+		if err != nil {
+			return err
+		}
+		for _, d := range data {
+			d := d
+			name := fmt.Sprintf("fig4_n%d.csv", d.DAGMans)
+			if err := writeCSV(csvDir, name, func(w io.Writer) error { return expt.WriteFig4SeriesCSV(w, d) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig5":
+		cells, err := fdw.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "fig5.csv", func(w io.Writer) error { return expt.WriteFig5CSV(w, cells) })
+	case "fig6":
+		cells, err := fdw.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "fig6.csv", func(w io.Writer) error { return expt.WriteFig5CSV(w, cells) })
+	case "headline":
+		_, err := fdw.Headline(opt)
+		return err
+	case "ablate":
+		if _, err := fdw.AblationRecycling(opt); err != nil {
+			return err
+		}
+		if _, err := fdw.AblationStash(opt); err != nil {
+			return err
+		}
+		if _, err := fdw.AblationFanout(opt); err != nil {
+			return err
+		}
+		_, err := fdw.AblationChurn(opt)
+		return err
+	case "policy3":
+		_, err := fdw.Policy3Sweep(opt)
+		return err
+	case "elastic":
+		_, err := fdw.ElasticComparison(opt)
+		return err
+	case "all":
+		for _, c := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "ablate", "policy3", "elastic"} {
+			if err := dispatch(c, opt, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", c, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func runFig1() error {
+	prod, err := fdw.Fig1(1, 8.1, 5)
+	if err != nil {
+		return err
+	}
+	r := prod.Rupture
+	fmt.Printf("Fig. 1 — FakeQuakes data products\n")
+	fmt.Printf("rupture %s: target Mw %.2f, realized Mw %.2f, %d subfaults, max slip %.2f m, duration %.0f s\n",
+		r.ID, r.TargetMw, r.ActualMw, len(r.Patch), r.MaxSlip(), r.Duration())
+	for _, w := range prod.Waveforms {
+		fmt.Printf("  station %-5s PGD %.3f m\n", w.Station, w.PGD())
+	}
+	return nil
+}

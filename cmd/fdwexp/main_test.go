@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"fdw"
+)
+
+func quickOpt() fdw.ExperimentOptions {
+	opt := fdw.DefaultExperimentOptions()
+	opt.Seeds = []uint64{7}
+	opt.Scale = 0.02
+	opt.Out = io.Discard
+	return opt
+}
+
+func TestDispatchEveryFigure(t *testing.T) {
+	for _, cmd := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "ablate", "policy3", "elastic"} {
+		opt := quickOpt()
+		if cmd == "headline" {
+			opt.Scale = 0.1
+		}
+		if err := dispatch(cmd, opt, t.TempDir()); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch("fig99", quickOpt(), ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

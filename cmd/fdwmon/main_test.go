@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fdw"
+)
+
+// makeLog runs a small workflow and writes its HTCondor log to disk.
+func makeLog(t *testing.T) string {
+	t.Helper()
+	env, err := fdw.NewEnv(3, fdw.DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fdw.DefaultConfig()
+	cfg.Name = "montest"
+	cfg.Waveforms = 64
+	cfg.Stations = 2
+	var buf bytes.Buffer
+	w, err := fdw.NewWorkflow(cfg, env, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, 48*3600); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.log")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFdwmonAnalyzesLog(t *testing.T) {
+	if err := run(makeLog(t), 60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFdwmonMissingFile(t *testing.T) {
+	if err := run("/nonexistent/run.log", 60); err == nil {
+		t.Fatal("missing log accepted")
+	}
+}
+
+func TestFdwmonCorruptLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("garbage in here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 60); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	series := []fdw.SeriesPoint{{T: 0, V: 0}, {T: 1, V: 5}, {T: 2, V: 10}}
+	s := sparkline(series, 3)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q has wrong width", s)
+	}
+	if sparkline(nil, 10) != "(no data)" {
+		t.Fatal("empty series not handled")
+	}
+	// All-zero series should not divide by zero.
+	flat := []fdw.SeriesPoint{{V: 0}, {V: 0}}
+	if got := sparkline(flat, 2); len([]rune(got)) != 2 {
+		t.Fatalf("flat sparkline %q", got)
+	}
+}

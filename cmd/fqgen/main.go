@@ -1,0 +1,99 @@
+// Command fqgen runs the FakeQuakes numeric kernels directly (no
+// workflow, no pool): it generates one stochastic rupture scenario on
+// the Chilean megathrust and synthesizes GNSS displacement waveforms,
+// writing the Fig. 1-style products to disk — slip distribution as
+// CSV, waveforms as .mseed, and a summary to stdout.
+//
+// Usage:
+//
+//	fqgen -mw 8.4 -stations 8 -seed 7 -out products/
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fdw"
+	"fdw/internal/mseed"
+)
+
+func main() {
+	var (
+		mw       = flag.Float64("mw", 8.1, "target moment magnitude (7.5–9.3)")
+		stations = flag.Int("stations", 5, "number of GNSS stations")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		outDir   = flag.String("out", "", "directory for rupture.csv and waveforms.mseed (optional)")
+	)
+	flag.Parse()
+	if err := run(*mw, *stations, *seed, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "fqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mw float64, stations int, seed uint64, outDir string) error {
+	sc, err := fdw.GenerateScenario(seed, mw, stations)
+	if err != nil {
+		return err
+	}
+	r := sc.Rupture
+	fmt.Printf("rupture %s: target Mw %.2f, realized Mw %.2f\n", r.ID, r.TargetMw, r.ActualMw)
+	fmt.Printf("  %d subfaults, max slip %.2f m, rupture duration %.0f s\n",
+		len(r.Patch), r.MaxSlip(), r.Duration())
+	for _, w := range sc.Waveforms {
+		fmt.Printf("  %-5s PGD %.3f m\n", w.Station, w.PGD())
+	}
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	// Slip distribution: one row per subfault of the rupture patch.
+	rf, err := os.Create(filepath.Join(outDir, "rupture.csv"))
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	cw := csv.NewWriter(rf)
+	if err := cw.Write([]string{"subfault", "slip_m", "onset_s", "rise_s"}); err != nil {
+		return err
+	}
+	for i, idx := range r.Patch {
+		row := []string{
+			strconv.Itoa(idx),
+			strconv.FormatFloat(r.SlipM[i], 'f', 4, 64),
+			strconv.FormatFloat(r.OnsetS[i], 'f', 2, 64),
+			strconv.FormatFloat(r.RiseS[i], 'f', 2, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+
+	// Waveforms: all stations, 3 components each, in the mseed codec.
+	var records []mseed.Record
+	for i := range sc.Waveforms {
+		records = append(records, sc.Waveforms[i].ToRecords()...)
+	}
+	wf, err := os.Create(filepath.Join(outDir, "waveforms.mseed"))
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	if err := mseed.Write(wf, records); err != nil {
+		return err
+	}
+	fmt.Printf("products written to %s (rupture.csv, waveforms.mseed: %d records, %d bytes)\n",
+		outDir, len(records), mseed.EncodedSize(records))
+	return nil
+}

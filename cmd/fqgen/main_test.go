@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFqgenWritesProducts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(8.1, 2, 5, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"rupture.csv", "waveforms.mseed"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestFqgenNoOutputDir(t *testing.T) {
+	if err := run(8.0, 1, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFqgenRejectsBadMagnitude(t *testing.T) {
+	if err := run(5.0, 2, 1, ""); err == nil {
+		t.Fatal("Mw 5 accepted")
+	}
+}

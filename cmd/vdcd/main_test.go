@@ -1,0 +1,64 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fdw"
+)
+
+func TestSeedPopulatesCatalog(t *testing.T) {
+	c := fdw.NewCatalog()
+	if err := seed(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("seeded %d products, want 4", c.Len())
+	}
+	found := c.Search(fdw.CatalogQuery{Tag: "eew"})
+	if len(found) != 2 {
+		t.Fatalf("eew-tagged products: %d, want 2", len(found))
+	}
+}
+
+func TestLoadOrNewAndPersist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	c, err := loadOrNew(path) // missing file → empty catalog
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("missing state file should give empty catalog")
+	}
+	if err := seed(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveCatalog(c, path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := loadOrNew(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("restored %d products, want %d", c2.Len(), c.Len())
+	}
+}
+
+func TestPersistingMiddlewareSaves(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	c := fdw.NewCatalog()
+	srv := httptest.NewServer(persisting(fdw.NewCatalogServer(c), c, path))
+	defer srv.Close()
+	cl := fdw.NewCatalogClient(srv.URL)
+	if _, err := cl.Deposit(fdw.Product{Name: "x", Type: "waveform", Batch: "b", Region: "chile"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state not persisted after POST: %v", err)
+	}
+}

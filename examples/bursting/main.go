@@ -1,0 +1,74 @@
+// Bursting: run a real FDW batch on the simulated OSG, extract its
+// job-time trace (the paper's two-CSV input), then replay it under the
+// three VDC bursting policies and compare against the pure-OSG
+// control — a reduced Fig. 5/6.
+//
+//	go run ./examples/bursting
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fdw"
+)
+
+func main() {
+	// 1. Produce a trace: one DAGMan making 1,000 full-input waveforms.
+	env, err := fdw.NewEnv(31, fdw.DefaultPoolConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fdw.DefaultConfig()
+	cfg.Name = "burst-demo"
+	cfg.Waveforms = 1000
+	cfg.Seed = 31
+	w, err := fdw.NewWorkflow(cfg, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, 1000*3600); err != nil {
+		log.Fatal(err)
+	}
+	batch, jobs, err := fdw.TraceFromWorkflow(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: batch %q, %d jobs, %.2f h on OSG\n\n", batch.Name, len(jobs), batch.Duration()/3600)
+
+	// 2. Control: replay with no policies.
+	control, err := fdw.Burst(batch, jobs, fdw.DefaultBurstConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := control.Report(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// 3. The paper's sweep dimensions, reduced: three probe times with
+	// Policy 1 (threshold 34 JPM) + Policy 2 (90-minute queue cap), and
+	// one Policy 3 (submission gap) run.
+	for _, probe := range []float64{1, 10, 120} {
+		bc := fdw.DefaultBurstConfig()
+		bc.P1 = &fdw.BurstPolicy1{ProbeSecs: probe, ThresholdJPM: 34}
+		bc.P2 = &fdw.BurstPolicy2{MaxQueueSecs: 90 * 60}
+		res, err := fdw.Burst(batch, jobs, bc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P1 probe %3.0fs + P2 90min: AIT %6.2f JPM (control %.2f), VDC %5.1f%%, bursted %4.1f%%, runtime %.2f h, cost $%.2f\n",
+			probe, res.AvgInstantJPM, control.AvgInstantJPM, res.VDCActivePct,
+			res.BurstedPct, res.RuntimeSecs/3600, res.CostUSD)
+	}
+	bc := fdw.DefaultBurstConfig()
+	bc.P3 = &fdw.BurstPolicy3{MaxGapSecs: 30 * 60, ProbeSecs: 60}
+	res, err := fdw.Burst(batch, jobs, bc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P3 gap 30min:              AIT %6.2f JPM, bursted %.1f%%, cost $%.2f\n",
+		res.AvgInstantJPM, res.BurstedPct, res.CostUSD)
+	fmt.Println("\nfaster probing raises average instant throughput and VDC usage; cost stays dollars-scale.")
+}

@@ -1,0 +1,67 @@
+// Cascadia: the paper's first future-work item — "experimenting with
+// regions beyond Chile". The FakeQuakes pipeline is region-agnostic:
+// swap the Slab2-style geometry and station network for the Cascadia
+// subduction zone (the megathrust MudPy's rupture machinery was first
+// built for) and run the same rupture → Green's functions → waveform
+// chain, then compare source properties against a Chilean event of the
+// same magnitude.
+//
+//	go run ./examples/cascadia
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdw/internal/fakequakes"
+	"fdw/internal/geom"
+	"fdw/internal/sim"
+)
+
+func runRegion(name string, faultCfg geom.ChileFaultConfig, stations []geom.Station, mw float64) {
+	faultCfg.SubfaultKm = 20 // coarse demo mesh
+	fault, err := geom.BuildFault(faultCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := fakequakes.ComputeDistanceMatrices(fault, stations)
+	gen, err := fakequakes.NewGenerator(fault, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := sim.NewRNG(17)
+	r, err := gen.GenerateMw("run000001", mw, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gf, err := fakequakes.ComputeGreens(fault, stations, dist, fakequakes.DefaultGFConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wfs, err := fakequakes.SynthesizeWaveforms(r, gf, fakequakes.DefaultNoise(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s mesh %d×%d (%d subfaults), dip %.0f–%.0f°\n",
+		name, fault.NAlong, fault.NDown, fault.NumSubfaults(),
+		faultCfg.DipShallowDeg, faultCfg.DipDeepDeg)
+	fmt.Printf("  rupture Mw %.2f: %d slipping subfaults, max slip %.1f m, duration %.0f s\n",
+		r.ActualMw, len(r.Patch), r.MaxSlip(), r.Duration())
+	var peak float64
+	var peakSta string
+	for _, w := range wfs {
+		if p := w.PGD(); p > peak {
+			peak, peakSta = p, w.Station
+		}
+	}
+	fmt.Printf("  peak ground displacement %.2f m at %s (%d stations)\n\n", peak, peakSta, len(stations))
+}
+
+func main() {
+	const mw = 8.8
+	fmt.Printf("same FakeQuakes pipeline, two subduction zones, target Mw %.1f:\n\n", mw)
+	runRegion("chile", geom.DefaultChileFault(), geom.FullChileanStations()[:6], mw)
+	runRegion("cascadia", geom.DefaultCascadiaFault(), geom.CascadiaStations(6), mw)
+	fmt.Println("Cascadia's shallower dip spreads the same moment over a wider, shallower")
+	fmt.Println("patch — the regional geometry, not the pipeline, sets the source character.")
+}

@@ -1,0 +1,87 @@
+// Catalog: the Fig. 7 pipeline — deposit FDW data products into the
+// VDC data-services catalog over its HTTP API, curate them with tags,
+// and retrieve them the way an EEW-model training pipeline would,
+// including the popularity-based prefetch hints.
+//
+//	go run ./examples/catalog
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"fdw"
+)
+
+func main() {
+	// Serve the portal on a loopback listener.
+	portal := httptest.NewServer(fdw.NewCatalogServer(fdw.NewCatalog()))
+	defer portal.Close()
+	client := fdw.NewCatalogClient(portal.URL)
+
+	// 1. Generate real products and deposit them, batch by batch.
+	var waveformIDs []string
+	for i, mw := range []float64{7.9, 8.4, 9.0} {
+		sc, err := fdw.GenerateScenario(uint64(100+i), mw, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch := fmt.Sprintf("chile-demo-%d", i+1)
+		rid, err := client.Deposit(fdw.Product{
+			Name: sc.Rupture.ID + " rupture", Type: "rupture",
+			Batch: batch, Region: "chile", Mw: sc.Rupture.ActualMw,
+			SizeBytes:   int64(len(sc.Rupture.Patch) * 24),
+			Description: fmt.Sprintf("stochastic slip, max %.1f m", sc.Rupture.MaxSlip()),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wid, err := client.Deposit(fdw.Product{
+			Name: sc.Rupture.ID + " waveforms", Type: "waveform",
+			Batch: batch, Region: "chile", Mw: sc.Rupture.ActualMw,
+			SizeBytes:   int64(len(sc.Waveforms) * 3 * 512 * 8),
+			Description: "synthetic high-rate GNSS displacement",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		waveformIDs = append(waveformIDs, wid)
+		// 2. Curate: tag for discovery.
+		if err := client.Tag(rid, "eew", "chile"); err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Tag(wid, "eew", "training", "gnss"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deposited batch %s: rupture %s, waveforms %s (Mw %.2f)\n", batch, rid, wid, sc.Rupture.ActualMw)
+	}
+
+	// 3. Discovery: an EEW researcher wants large-event training data.
+	found, err := client.Search(fdw.CatalogQuery{Type: "waveform", Tag: "training", MinMw: 8.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsearch type=waveform tag=training Mw≥8.0 → %d products:\n", len(found))
+	for _, p := range found {
+		fmt.Printf("  %s %-22s Mw %.2f %6d KB\n", p.ID, p.Name, p.Mw, p.SizeBytes/1024)
+	}
+
+	// 4. Retrieval (counts accesses) and prefetch hints.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get(waveformIDs[2]); err != nil { // the Mw 9 set is popular
+			log.Fatal(err)
+		}
+	}
+	if _, err := client.Get(waveformIDs[0]); err != nil {
+		log.Fatal(err)
+	}
+	hot, err := client.Popular(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintelligent-data-delivery prefetch hints (most retrieved first):")
+	for _, p := range hot {
+		fmt.Printf("  %s %-22s %d retrievals\n", p.ID, p.Name, p.Accesses)
+	}
+}

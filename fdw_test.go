@@ -1,0 +1,177 @@
+package fdw_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fdw"
+)
+
+// TestPublicAPIEndToEnd drives the full public surface: configure →
+// run on the pool → monitor from the log → trace → burst → catalog.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	env, err := fdw.NewEnv(5, fdw.DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fdw.DefaultConfig()
+	cfg.Name = "api-e2e"
+	cfg.Waveforms = 200
+	cfg.Stations = 2
+	cfg.Seed = 5
+
+	var logBuf bytes.Buffer
+	w, err := fdw.NewWorkflow(cfg, env, &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, 48*3600); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done() || w.RuntimeHours() <= 0 {
+		t.Fatalf("workflow state: done=%v runtime=%v", w.Done(), w.RuntimeHours())
+	}
+
+	// Monitoring round trip through the HTCondor log text.
+	stats, err := fdw.AnalyzeLog(cfg.Name, &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CompletedJobs != w.Schedd.Completed() {
+		t.Fatalf("log stats %d completed, schedd says %d", stats.CompletedJobs, w.Schedd.Completed())
+	}
+
+	// Trace round trip through the CSV formats.
+	batch, jobs, err := fdw.TraceFromWorkflow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bcsv, jcsv bytes.Buffer
+	if err := fdw.WriteBatchCSV(&bcsv, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := fdw.WriteJobsCSV(&jcsv, jobs); err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := fdw.ReadBatchCSV(&bcsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs2, err := fdw.ReadJobsCSV(&jcsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch2 != batch || len(jobs2) != len(jobs) {
+		t.Fatal("trace CSV round trip changed data")
+	}
+
+	// Bursting on the trace.
+	bc := fdw.DefaultBurstConfig()
+	bc.P1 = &fdw.BurstPolicy1{ProbeSecs: 5, ThresholdJPM: 34}
+	res, err := fdw.Burst(batch2, jobs2, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := fdw.Burst(batch2, jobs2, fdw.DefaultBurstConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgInstantJPM < control.AvgInstantJPM {
+		t.Fatalf("bursting AIT %v below control %v", res.AvgInstantJPM, control.AvgInstantJPM)
+	}
+	var seriesCSV bytes.Buffer
+	if err := fdw.WriteBurstSeriesCSV(&seriesCSV, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(seriesCSV.String(), "second,instant_jpm") {
+		t.Fatal("series CSV malformed")
+	}
+
+	// Catalog over HTTP.
+	portal := httptest.NewServer(fdw.NewCatalogServer(fdw.NewCatalog()))
+	defer portal.Close()
+	client := fdw.NewCatalogClient(portal.URL)
+	id, err := client.Deposit(fdw.Product{Name: cfg.Name + " waveforms", Type: "waveform", Batch: cfg.Name, Region: "chile", Mw: 8.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batch != cfg.Name {
+		t.Fatalf("catalog product %+v", got)
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	cfg := fdw.DefaultConfig()
+	bl, err := fdw.Baseline(fdw.AWSBaseline(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.TotalHours() <= 0 {
+		t.Fatal("degenerate baseline")
+	}
+}
+
+func TestGenerateScenarioPublic(t *testing.T) {
+	sc, err := fdw.GenerateScenario(9, 8.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Rupture == nil || len(sc.Waveforms) != 2 || len(sc.Stations) != 2 {
+		t.Fatalf("scenario %+v", sc)
+	}
+}
+
+func TestConfigFileRoundTripPublic(t *testing.T) {
+	cfg := fdw.DefaultConfig()
+	cfg.Waveforms = 4321
+	var buf bytes.Buffer
+	if err := fdw.WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fdw.ParseConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatal("config round trip changed values")
+	}
+}
+
+func TestDepositProducts(t *testing.T) {
+	env, err := fdw.NewEnv(8, fdw.DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fdw.DefaultConfig()
+	cfg.Name = "archive-me"
+	cfg.Waveforms = 64
+	cfg.Stations = 2
+	w, err := fdw.NewWorkflow(cfg, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := fdw.NewCatalog()
+	if _, err := fdw.DepositProducts(w, catalog); err == nil {
+		t.Fatal("deposit from unfinished workflow accepted")
+	}
+	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, 48*3600); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := fdw.DepositProducts(w, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || catalog.Len() != 3 {
+		t.Fatalf("deposited %d products, catalog has %d", len(ids), catalog.Len())
+	}
+	training := catalog.Search(fdw.CatalogQuery{Tag: "training", Batch: "archive-me"})
+	if len(training) != 1 {
+		t.Fatalf("training products: %d, want 1", len(training))
+	}
+}

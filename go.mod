@@ -1,0 +1,3 @@
+module fdw
+
+go 1.22

@@ -1,0 +1,91 @@
+// Package baseline models the paper's single-machine comparator: an
+// automated FakeQuakes run on one AWS instance (4× Intel Xeon Platinum
+// 8175M, the machine of §3.1) processing the same workload serially,
+// with MudPy's built-in multiprocessing across the local cores. The
+// §6 headline — a 56.8% runtime decrease for 1,024 full-input
+// waveforms on FDW versus a single host — is measured against this.
+//
+// Per-unit costs reuse the AWS measurements the bursting simulator is
+// built on: a rupture work unit (16 ruptures) takes 287 s and a
+// waveform work unit (2 waveforms) 144 s on this machine; the
+// Green's-function stage is serial and scales with the station list.
+package baseline
+
+import (
+	"fmt"
+
+	"fdw/internal/core"
+)
+
+// Machine describes the single host.
+type Machine struct {
+	Name  string
+	Cores int // parallel width for the embarrassingly parallel stages
+	// Per-work-unit times (seconds) measured on this machine.
+	RuptureUnitSecs  float64 // one phase A unit (RupturesPerJob ruptures)
+	WaveformUnitSecs float64 // one phase C unit (WaveformsPerJob waveforms)
+	GFPerStationSecs float64 // serial Green's-function cost per station
+	MatrixSecs       float64 // distance-matrix generation when not recycled
+}
+
+// AWSInstance returns the paper's baseline machine.
+func AWSInstance() Machine {
+	return Machine{
+		Name:             "aws-4xXeon8175M",
+		Cores:            4,
+		RuptureUnitSecs:  287,
+		WaveformUnitSecs: 144,
+		GFPerStationSecs: 60,
+		MatrixSecs:       1200,
+	}
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	if m.Cores <= 0 {
+		return fmt.Errorf("baseline: non-positive core count")
+	}
+	if m.RuptureUnitSecs <= 0 || m.WaveformUnitSecs <= 0 || m.GFPerStationSecs <= 0 {
+		return fmt.Errorf("baseline: non-positive unit times")
+	}
+	return nil
+}
+
+// Breakdown details a baseline run's stage times (seconds).
+type Breakdown struct {
+	MatrixSecs   float64
+	RuptureSecs  float64
+	GFSecs       float64
+	WaveformSecs float64
+}
+
+// TotalSecs sums the stages (they run sequentially on one host).
+func (b Breakdown) TotalSecs() float64 {
+	return b.MatrixSecs + b.RuptureSecs + b.GFSecs + b.WaveformSecs
+}
+
+// TotalHours is TotalSecs in hours.
+func (b Breakdown) TotalHours() float64 { return b.TotalSecs() / 3600 }
+
+// Run estimates the wall time to produce cfg's workload on m. The
+// rupture and waveform stages parallelize across the machine's cores;
+// the Green's-function stage is serial (it is in MudPy, which is why
+// the paper calls it out as spanning hours).
+func Run(m Machine, cfg core.Config) (Breakdown, error) {
+	if err := m.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	_, aUnits, _, cUnits, _ := cfg.JobCounts()
+	var b Breakdown
+	if !cfg.RecycleMatrices {
+		b.MatrixSecs = m.MatrixSecs
+	}
+	cores := float64(m.Cores)
+	b.RuptureSecs = float64(aUnits) * m.RuptureUnitSecs / cores
+	b.GFSecs = float64(cfg.Stations) * m.GFPerStationSecs
+	b.WaveformSecs = float64(cUnits) * m.WaveformUnitSecs / cores
+	return b, nil
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"testing"
+
+	"fdw/internal/core"
+)
+
+func TestRunBreakdown(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Waveforms = 1024
+	b, err := Run(AWSInstance(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 rupture units × 287 s / 4 cores.
+	if want := 64 * 287.0 / 4; b.RuptureSecs != want {
+		t.Fatalf("rupture %v, want %v", b.RuptureSecs, want)
+	}
+	// 512 waveform units × 144 s / 4 cores.
+	if want := 512 * 144.0 / 4; b.WaveformSecs != want {
+		t.Fatalf("waveform %v, want %v", b.WaveformSecs, want)
+	}
+	// GF serial: 121 × 60 s.
+	if want := 121 * 60.0; b.GFSecs != want {
+		t.Fatalf("gf %v, want %v", b.GFSecs, want)
+	}
+	if b.MatrixSecs != 0 {
+		t.Fatal("matrix stage charged despite recycling")
+	}
+	// Headline scale: single host takes several hours for 1,024 full input.
+	if h := b.TotalHours(); h < 6 || h > 12 {
+		t.Fatalf("baseline total %v h, want 6–12", h)
+	}
+}
+
+func TestMatrixStageWithoutRecycling(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.RecycleMatrices = false
+	b, err := Run(AWSInstance(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MatrixSecs != 1200 {
+		t.Fatalf("matrix %v", b.MatrixSecs)
+	}
+	if b.TotalSecs() != b.MatrixSecs+b.RuptureSecs+b.GFSecs+b.WaveformSecs {
+		t.Fatal("TotalSecs mismatch")
+	}
+}
+
+func TestSmallInputMuchFaster(t *testing.T) {
+	full := core.DefaultConfig()
+	small := core.DefaultConfig()
+	small.Stations = 2
+	bf, err := Run(AWSInstance(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Run(AWSInstance(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.GFSecs >= bf.GFSecs {
+		t.Fatal("small input GF stage not faster")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := AWSInstance()
+	bad.Cores = 0
+	if _, err := Run(bad, core.DefaultConfig()); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad2 := AWSInstance()
+	bad2.WaveformUnitSecs = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero unit time accepted")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Waveforms = -1
+	if _, err := Run(AWSInstance(), cfg); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestMoreCoresFaster(t *testing.T) {
+	m8 := AWSInstance()
+	m8.Cores = 8
+	cfg := core.DefaultConfig()
+	b4, err := Run(AWSInstance(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := Run(m8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b8.TotalSecs() >= b4.TotalSecs() {
+		t.Fatal("doubling cores did not reduce runtime")
+	}
+	// GF stage is serial: unchanged.
+	if b8.GFSecs != b4.GFSecs {
+		t.Fatal("GF stage should not parallelize")
+	}
+}

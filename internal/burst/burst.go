@@ -1,0 +1,465 @@
+// Package burst implements the paper's VDC bursting simulator (§3.1):
+// it replays the job times of a real DAGMan batch second by second and
+// applies OSG-tailored policies that offload jobs to simulated VDC
+// cloud resources — Policy 1 (low instant throughput), Policy 2
+// (congested queue), Policy 3 (submission gaps). Offloaded jobs
+// complete in fixed times (rupture 287 s, waveform 144 s, from AWS
+// baseline measurements) and accrue cost at on-demand pricing.
+package burst
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"sort"
+
+	"fdw/internal/stats"
+	"fdw/internal/wtrace"
+)
+
+// Paper constants (§3.1.1, §4.3).
+const (
+	// DefaultRuptureVDCSecs is the simulated VDC completion time for a
+	// rupture job, measured on the AWS a1-class baseline machine.
+	DefaultRuptureVDCSecs = 287
+	// DefaultWaveformVDCSecs is the same for a waveform job.
+	DefaultWaveformVDCSecs = 144
+	// DefaultCostPerMinute is Amazon EC2 on-demand pricing for an
+	// a1.xlarge (4 CPUs, 8 GB), USD per minute.
+	DefaultCostPerMinute = 0.0017
+	// DefaultMaxBurstFraction caps offloading at 30% of the batch.
+	DefaultMaxBurstFraction = 0.30
+)
+
+// Policy1 addresses low throughput: every ProbeSecs, if instant
+// throughput is below ThresholdJPM, burst the last unsubmitted job.
+type Policy1 struct {
+	ProbeSecs    float64
+	ThresholdJPM float64
+}
+
+// Policy2 addresses congested queues: jobs idle longer than
+// MaxQueueSecs are removed from the OSG queue and bursted. The queue is
+// inspected every ProbeSecs ("we regularly analyze submitted OSG
+// jobs"); zero means the 60-second default.
+type Policy2 struct {
+	MaxQueueSecs float64
+	ProbeSecs    float64
+}
+
+// Policy3 addresses submission gaps: if more than MaxGapSecs have
+// passed since the most recent job submission, burst the last
+// unsubmitted job (checked every ProbeSecs).
+type Policy3 struct {
+	MaxGapSecs float64
+	ProbeSecs  float64
+}
+
+// ElasticPolicy implements the paper's §6 future-work direction: an
+// elastic algorithm that scales VDC resources to the throughput
+// deficit instead of bursting one job per probe. Each ProbeSecs it
+// bursts up to MaxPerProbe jobs, proportionally to how far instant
+// throughput sits below TargetJPM — large deficits provision VDC
+// aggressively, small ones trickle.
+type ElasticPolicy struct {
+	TargetJPM   float64
+	ProbeSecs   float64
+	MaxPerProbe int
+}
+
+// Config selects policies and constants for one simulation. Nil
+// policies are disabled; all-nil reproduces the control (pure OSG
+// replay).
+type Config struct {
+	P1      *Policy1
+	P2      *Policy2
+	P3      *Policy3
+	Elastic *ElasticPolicy
+
+	RuptureVDCSecs   float64
+	WaveformVDCSecs  float64
+	CostPerMinute    float64
+	MaxBurstFraction float64
+}
+
+// DefaultConfig returns the paper's constants with no policies enabled.
+func DefaultConfig() Config {
+	return Config{
+		RuptureVDCSecs:   DefaultRuptureVDCSecs,
+		WaveformVDCSecs:  DefaultWaveformVDCSecs,
+		CostPerMinute:    DefaultCostPerMinute,
+		MaxBurstFraction: DefaultMaxBurstFraction,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.RuptureVDCSecs <= 0 || c.WaveformVDCSecs <= 0 {
+		return fmt.Errorf("burst: non-positive VDC completion times")
+	}
+	if c.CostPerMinute < 0 {
+		return fmt.Errorf("burst: negative cost per minute")
+	}
+	if c.MaxBurstFraction < 0 || c.MaxBurstFraction > 1 {
+		return fmt.Errorf("burst: MaxBurstFraction %v outside [0,1]", c.MaxBurstFraction)
+	}
+	if c.P1 != nil && (c.P1.ProbeSecs <= 0 || c.P1.ThresholdJPM <= 0) {
+		return fmt.Errorf("burst: invalid Policy 1 %+v", *c.P1)
+	}
+	if c.P2 != nil && (c.P2.MaxQueueSecs <= 0 || c.P2.ProbeSecs < 0) {
+		return fmt.Errorf("burst: invalid Policy 2 %+v", *c.P2)
+	}
+	if c.P3 != nil && (c.P3.MaxGapSecs <= 0 || c.P3.ProbeSecs <= 0) {
+		return fmt.Errorf("burst: invalid Policy 3 %+v", *c.P3)
+	}
+	if c.Elastic != nil && (c.Elastic.TargetJPM <= 0 || c.Elastic.ProbeSecs <= 0 || c.Elastic.MaxPerProbe <= 0) {
+		return fmt.Errorf("burst: invalid elastic policy %+v", *c.Elastic)
+	}
+	return nil
+}
+
+// Result is one simulation's report (§3.1: "statistics are computed and
+// reported in detailed output").
+type Result struct {
+	Batch    string
+	Control  bool // no policies were enabled
+	TotalJob int
+
+	RuntimeSecs float64
+
+	// Instant-throughput series statistics (formula (6) and Fig. 5/6).
+	AvgInstantJPM float64
+	MaxInstantJPM float64
+	MinInstantJPM float64
+	SDInstantJPM  float64
+
+	BurstedJobs int
+	BurstedPct  float64
+	VDCMinutes  float64 // simulated VDC compute minutes consumed
+	CostUSD     float64 // formula (7)
+	// VDCUsagePct is the share of completed jobs that ran on VDC rather
+	// than OSG — the paper's "percentage of Cloud/VDC usage compared to
+	// OSG" (§5.3.2: up to 85.6% with a 1-second probe).
+	VDCUsagePct    float64
+	VDCActivePct   float64 // % of runtime seconds with ≥1 VDC job active
+	CompletedOSG   int
+	CompletedVDC   int
+	ThroughputJPM  float64 // total throughput, completions/runtime
+	InstantSeries  []float64
+	SeriesStepSecs float64
+}
+
+type jobState struct {
+	rec       wtrace.JobRecord
+	submitted bool
+	done      bool
+	bursted   bool
+	vdcLeft   float64 // remaining VDC seconds once bursted
+	vdcTotal  float64
+}
+
+// Simulate replays the batch under cfg. Jobs of class gf/matrix are
+// replayed but never bursted (the B-phase barrier cannot move to VDC —
+// its product must land back in the Stash cache either way).
+func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("burst: no jobs in trace")
+	}
+	states := make([]*jobState, len(jobs))
+	finishable := 0
+	for i, j := range jobs {
+		if j.Submit < batch.Submit {
+			return nil, fmt.Errorf("burst: job %s submitted before batch", j.ID)
+		}
+		states[i] = &jobState{rec: j}
+		if j.Finished() {
+			finishable++
+		}
+	}
+	if finishable == 0 {
+		return nil, fmt.Errorf("burst: trace has no finishable jobs")
+	}
+
+	res := &Result{
+		Batch:          batch.Name,
+		Control:        cfg.P1 == nil && cfg.P2 == nil && cfg.P3 == nil && cfg.Elastic == nil,
+		TotalJob:       len(jobs),
+		SeriesStepSecs: 1,
+		MinInstantJPM:  math.Inf(1),
+	}
+	maxBurst := int(cfg.MaxBurstFraction * float64(len(jobs)))
+
+	vdcSecsFor := func(class wtrace.JobClass) float64 {
+		switch class {
+		case wtrace.ClassRupture:
+			return cfg.RuptureVDCSecs
+		case wtrace.ClassWaveform:
+			return cfg.WaveformVDCSecs
+		default:
+			return 0 // not burstable
+		}
+	}
+
+	// bySubmitAsc is maintained below; burstLastUnsubmitted walks a tail
+	// pointer down it to find the job with the latest pending submission
+	// time ("the last unsubmitted OSG job for the phase") in amortized
+	// O(1) per call.
+	var bySubmitAsc []*jobState
+	tail := -1        // highest candidate index; set after sorting
+	submittedIdx := 0 // everything below this is submitted
+	burstLastUnsubmitted := func() *jobState {
+		if res.BurstedJobs >= maxBurst {
+			return nil
+		}
+		for tail >= submittedIdx {
+			st := bySubmitAsc[tail]
+			if st.bursted || st.submitted || st.done || vdcSecsFor(st.rec.Class) == 0 {
+				tail--
+				continue
+			}
+			st.bursted = true
+			st.vdcTotal = vdcSecsFor(st.rec.Class)
+			st.vdcLeft = st.vdcTotal
+			res.BurstedJobs++
+			tail--
+			return st
+		}
+		return nil
+	}
+
+	// burstQueued offloads a specific queued job (Policy 2).
+	burstQueued := func(st *jobState) bool {
+		if res.BurstedJobs >= maxBurst {
+			return false
+		}
+		if vdcSecsFor(st.rec.Class) == 0 {
+			return false
+		}
+		st.bursted = true
+		st.vdcTotal = vdcSecsFor(st.rec.Class)
+		st.vdcLeft = st.vdcTotal
+		res.BurstedJobs++
+		return true
+	}
+
+	completed := 0
+	lastSubmitSeen := batch.Submit
+	var instant []float64
+	horizon := batch.End + 24*3600 // safety bound; bursting only shortens runs
+	endAt := batch.End
+
+	// Event-ordered views for the per-second loop: jobs by submission
+	// and by OSG termination time, plus live queued/VDC sets, so each
+	// second costs O(changes) instead of O(jobs).
+	bySubmit := make([]*jobState, len(states))
+	copy(bySubmit, states)
+	sort.Slice(bySubmit, func(i, j int) bool { return bySubmit[i].rec.Submit < bySubmit[j].rec.Submit })
+	bySubmitAsc = bySubmit
+	tail = len(bySubmit) - 1
+	var byEnd []*jobState
+	for _, st := range states {
+		if st.rec.Finished() {
+			byEnd = append(byEnd, st)
+		}
+	}
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].rec.End < byEnd[j].rec.End })
+	remaining := len(byEnd) // OSG-finishable jobs not yet done or bursted
+	var queued []*jobState  // submitted, waiting to start on OSG
+	var vdcActiveJobs []*jobState
+
+	p2Probe := 60.0
+	if cfg.P2 != nil && cfg.P2.ProbeSecs > 0 {
+		p2Probe = cfg.P2.ProbeSecs
+	}
+
+	si, ei := 0, 0
+	var t float64
+	for t = batch.Submit; t <= horizon; t++ {
+		now := t
+		elapsedMin := (now - batch.Submit) / 60
+
+		// 1. Mark submissions; track the most recent one (Policy 3).
+		for si < len(bySubmit) && bySubmit[si].rec.Submit <= now {
+			st := bySubmit[si]
+			si++
+			submittedIdx = si
+			if st.bursted {
+				continue
+			}
+			st.submitted = true
+			queued = append(queued, st)
+			if st.rec.Submit > lastSubmitSeen {
+				lastSubmitSeen = st.rec.Submit
+			}
+		}
+
+		// 2. OSG completions per the trace.
+		for ei < len(byEnd) && byEnd[ei].rec.End <= now {
+			st := byEnd[ei]
+			ei++
+			if st.bursted || st.done {
+				continue
+			}
+			st.done = true
+			completed++
+			remaining--
+			res.CompletedOSG++
+		}
+
+		// 3. Advance VDC jobs by one second.
+		if len(vdcActiveJobs) > 0 {
+			res.VDCActivePct++ // counts seconds; normalized later
+			live := vdcActiveJobs[:0]
+			for _, st := range vdcActiveJobs {
+				st.vdcLeft--
+				res.VDCMinutes += 1.0 / 60
+				if st.vdcLeft <= 0 {
+					st.done = true
+					completed++
+					res.CompletedVDC++
+				} else {
+					live = append(live, st)
+				}
+			}
+			vdcActiveJobs = live
+		}
+
+		// 4. Policies.
+		tick := now - batch.Submit
+		if cfg.P1 != nil && tick > 0 && math.Mod(tick, cfg.P1.ProbeSecs) == 0 {
+			if stats.InstantThroughput(completed, elapsedMin) < cfg.P1.ThresholdJPM {
+				if st := burstLastUnsubmitted(); st != nil {
+					vdcActiveJobs = append(vdcActiveJobs, st)
+					if st.rec.Finished() {
+						remaining--
+					}
+				}
+			}
+		}
+		if cfg.P2 != nil && tick > 0 && math.Mod(tick, p2Probe) == 0 {
+			live := queued[:0]
+			for _, st := range queued {
+				if st.done || st.bursted || (st.rec.Started() && st.rec.Start <= now) {
+					continue // left the queue
+				}
+				if now-st.rec.Submit > cfg.P2.MaxQueueSecs && burstQueued(st) {
+					vdcActiveJobs = append(vdcActiveJobs, st)
+					if st.rec.Finished() {
+						remaining--
+					}
+					continue
+				}
+				live = append(live, st)
+			}
+			queued = live
+		}
+		if cfg.P3 != nil && tick > 0 && math.Mod(tick, cfg.P3.ProbeSecs) == 0 {
+			if now-lastSubmitSeen > cfg.P3.MaxGapSecs {
+				if st := burstLastUnsubmitted(); st != nil {
+					vdcActiveJobs = append(vdcActiveJobs, st)
+					if st.rec.Finished() {
+						remaining--
+					}
+				}
+			}
+		}
+		if e := cfg.Elastic; e != nil && tick > 0 && math.Mod(tick, e.ProbeSecs) == 0 {
+			it := stats.InstantThroughput(completed, elapsedMin)
+			if deficit := e.TargetJPM - it; deficit > 0 {
+				k := int(math.Ceil(deficit / e.TargetJPM * float64(e.MaxPerProbe)))
+				for i := 0; i < k; i++ {
+					st := burstLastUnsubmitted()
+					if st == nil {
+						break
+					}
+					vdcActiveJobs = append(vdcActiveJobs, st)
+					if st.rec.Finished() {
+						remaining--
+					}
+				}
+			}
+		}
+
+		// 5. Instant throughput sample (formula (5)).
+		it := stats.InstantThroughput(completed, elapsedMin)
+		instant = append(instant, it)
+		if it > res.MaxInstantJPM {
+			res.MaxInstantJPM = it
+		}
+		if it < res.MinInstantJPM {
+			res.MinInstantJPM = it
+		}
+
+		// 6. Termination: every job that can finish has finished.
+		if remaining == 0 && len(vdcActiveJobs) == 0 && si >= len(bySubmit) {
+			endAt = now
+			break
+		}
+	}
+
+	res.RuntimeSecs = endAt - batch.Submit
+	res.InstantSeries = instant
+	res.AvgInstantJPM = stats.AvgInstantThroughput(instant)
+	res.SDInstantJPM = stats.SD(instant)
+	if math.IsInf(res.MinInstantJPM, 1) {
+		res.MinInstantJPM = 0
+	}
+	if res.RuntimeSecs > 0 {
+		res.ThroughputJPM = float64(completed) / (res.RuntimeSecs / 60)
+		res.VDCActivePct = res.VDCActivePct / res.RuntimeSecs * 100
+	}
+	res.BurstedPct = float64(res.BurstedJobs) / float64(len(jobs)) * 100
+	if done := res.CompletedOSG + res.CompletedVDC; done > 0 {
+		res.VDCUsagePct = float64(res.CompletedVDC) / float64(done) * 100
+	}
+	res.CostUSD = stats.BurstCost(res.VDCMinutes, cfg.CostPerMinute)
+	return res, nil
+}
+
+// WriteSeriesCSV writes the per-second instant-throughput series —
+// the simulator's .csv output in the paper.
+func WriteSeriesCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"second", "instant_jpm"}); err != nil {
+		return err
+	}
+	for i, v := range r.InstantSeries {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(v, 'f', 4, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report renders the detailed output block.
+func (r *Result) Report(w io.Writer) error {
+	kind := "bursting"
+	if r.Control {
+		kind = "control"
+	}
+	_, err := fmt.Fprintf(w, `batch %s (%s)
+  runtime            %.2f h
+  avg instant tput   %.2f JPM (sd %.2f, min %.2f, max %.2f)
+  total throughput   %.2f JPM
+  jobs               %d total, %d OSG, %d VDC (%.1f%% bursted)
+  VDC usage          %.1f%% of completions, active %.1f%% of runtime, %.1f compute minutes
+  simulated cost     $%.2f
+`,
+		r.Batch, kind, r.RuntimeSecs/3600,
+		r.AvgInstantJPM, r.SDInstantJPM, r.MinInstantJPM, r.MaxInstantJPM,
+		r.ThroughputJPM,
+		r.TotalJob, r.CompletedOSG, r.CompletedVDC, r.BurstedPct,
+		r.VDCUsagePct, r.VDCActivePct, r.VDCMinutes,
+		r.CostUSD)
+	return err
+}

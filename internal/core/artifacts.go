@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fdw/internal/htcondor"
+)
+
+// WriteArtifacts materializes the workflow as the on-disk artifacts a
+// real FDW run submits to HTCondor: an fdw.dag DAGMan file plus one
+// submit-description file per phase, with the work model's resource
+// requests and +FDW* attributes. The files round-trip through this
+// repository's own DAGMan and submit-file parsers, so they double as
+// golden fixtures.
+func WriteArtifacts(cfg Config, dir string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d, err := BuildDAG(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fdw.dag"))
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_, aJobs, bJobs, cJobs, _ := cfg.JobCounts()
+	phases := []struct {
+		file  string
+		phase Phase
+		n     int
+		secs  float64
+	}{
+		{"fdw_matrices.sub", PhaseMatrix, 1, MatrixJobSecs()},
+		{"fdw_phase_a.sub", PhaseA, aJobs, RuptureJobSecs(cfg.RupturesPerJob)},
+		{"fdw_phase_b.sub", PhaseB, bJobs, GFJobSecs(cfg.Stations)},
+		{"fdw_phase_c.sub", PhaseC, cJobs, WaveformJobSecs(cfg.Stations, cfg.WaveformsPerJob)},
+	}
+	for _, p := range phases {
+		sf := &htcondor.SubmitFile{
+			Commands: map[string]string{
+				"universe":       "vanilla",
+				"executable":     fmt.Sprintf("fdw_phase_%s.sh", p.phase),
+				"arguments":      fmt.Sprintf("--batch %s --task $(Process)", cfg.Name),
+				"request_cpus":   "4",
+				"request_memory": "8GB",
+				"request_disk":   "16GB",
+				"requirements":   `(TARGET.HasSingularity == true)`,
+				"log":            cfg.Name + ".log",
+			},
+			Plus: map[string]string{
+				"FDWPhase":       strconv.Quote(string(p.phase)),
+				"FDWExecSeconds": strconv.FormatFloat(p.secs, 'f', 0, 64),
+			},
+			QueueN: p.n,
+		}
+		pf, err := os.Create(filepath.Join(dir, p.file))
+		if err != nil {
+			return err
+		}
+		if err := sf.Write(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+	}
+	cf, err := os.Create(filepath.Join(dir, "fdw.cfg"))
+	if err != nil {
+		return err
+	}
+	if err := WriteConfig(cf, cfg); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}

@@ -1,0 +1,180 @@
+// Package core implements FDW — the FakeQuakes DAGMan Workflow, the
+// paper's primary contribution. It turns a simulation request
+// ("generate W waveforms for this station list") into a three-phase
+// DAGMan workflow (A: ruptures, B: Green's functions, C: waveforms),
+// submits it to a (simulated) OSPool through HTCondor, recycles the
+// expensive distance matrices, and post-processes the HTCondor user
+// logs into the runtime/wait/throughput statistics the paper reports.
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Config mirrors FDW's user-edited configuration file: the simulation
+// parameters a researcher sets before running the workflow script.
+type Config struct {
+	Name string // batch name; also the DAGMan identity on the pool
+	// User is the OSG account the jobs run under — the negotiator's
+	// fair-share key. Concurrent DAGMans launched by one researcher
+	// share a user, so they compete within one priority rather than
+	// being equalized against each other (the paper's §4.2 setup).
+	User      string
+	Waveforms int // requested number of synthetic waveforms
+	Stations  int // GNSS station list length (2 = small Chilean input, 121 = full)
+
+	// Fan-out granularity (work per OSG job).
+	RupturesPerJob  int // phase A
+	WaveformsPerJob int // phase C
+
+	// RecycleMatrices indicates the two .npy distance matrices are
+	// already available; otherwise a single extra job generates them.
+	RecycleMatrices bool
+
+	// Magnitude range and slip-correlation kernel for FakeQuakes.
+	MinMw, MaxMw float64
+	SlipKernel   string
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's experimental setup: full Chilean
+// input, MudPy default magnitudes, matrices recycled, 16 ruptures and
+// 2 waveforms per job (the calibrated fan-out; see DESIGN.md §5).
+func DefaultConfig() Config {
+	return Config{
+		Name:            "fdw",
+		User:            "fdwuser",
+		Waveforms:       1024,
+		Stations:        121,
+		RupturesPerJob:  16,
+		WaveformsPerJob: 2,
+		RecycleMatrices: true,
+		MinMw:           7.8,
+		MaxMw:           9.2,
+		SlipKernel:      "vonKarman",
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("core: empty workflow name")
+	}
+	if c.User == "" {
+		return fmt.Errorf("core: empty user")
+	}
+	if c.Waveforms <= 0 {
+		return fmt.Errorf("core: non-positive waveform count %d", c.Waveforms)
+	}
+	if c.Stations <= 0 {
+		return fmt.Errorf("core: non-positive station count %d", c.Stations)
+	}
+	if c.RupturesPerJob <= 0 || c.WaveformsPerJob <= 0 {
+		return fmt.Errorf("core: non-positive fan-out (%d ruptures/job, %d waveforms/job)",
+			c.RupturesPerJob, c.WaveformsPerJob)
+	}
+	if c.MinMw >= c.MaxMw {
+		return fmt.Errorf("core: magnitude range [%v, %v] is empty", c.MinMw, c.MaxMw)
+	}
+	switch c.SlipKernel {
+	case "exponential", "gaussian", "vonKarman":
+	default:
+		return fmt.Errorf("core: unknown slip kernel %q", c.SlipKernel)
+	}
+	return nil
+}
+
+// JobCounts returns the number of OSG jobs each phase contributes.
+func (c Config) JobCounts() (matrix, phaseA, phaseB, phaseC, total int) {
+	if !c.RecycleMatrices {
+		matrix = 1
+	}
+	phaseA = (c.Waveforms + c.RupturesPerJob - 1) / c.RupturesPerJob
+	phaseB = 1
+	phaseC = (c.Waveforms + c.WaveformsPerJob - 1) / c.WaveformsPerJob
+	total = matrix + phaseA + phaseB + phaseC
+	return
+}
+
+// ParseConfig reads FDW's key = value configuration-file syntax
+// (comments with '#', case-insensitive keys).
+func ParseConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return cfg, fmt.Errorf("core: config line %d: expected key = value", lineNo)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:eq]))
+		val := strings.TrimSpace(line[eq+1:])
+		bad := func(err error) error {
+			return fmt.Errorf("core: config line %d: bad %s %q: %v", lineNo, key, val, err)
+		}
+		var err error
+		switch key {
+		case "name":
+			cfg.Name = val
+		case "user":
+			cfg.User = val
+		case "waveforms", "nwaveforms", "nruptures":
+			cfg.Waveforms, err = strconv.Atoi(val)
+		case "stations", "nstations":
+			cfg.Stations, err = strconv.Atoi(val)
+		case "ruptures_per_job":
+			cfg.RupturesPerJob, err = strconv.Atoi(val)
+		case "waveforms_per_job":
+			cfg.WaveformsPerJob, err = strconv.Atoi(val)
+		case "recycle_matrices":
+			cfg.RecycleMatrices, err = strconv.ParseBool(val)
+		case "min_mw":
+			cfg.MinMw, err = strconv.ParseFloat(val, 64)
+		case "max_mw":
+			cfg.MaxMw, err = strconv.ParseFloat(val, 64)
+		case "slip_kernel":
+			cfg.SlipKernel = val
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return cfg, fmt.Errorf("core: config line %d: unknown key %q", lineNo, key)
+		}
+		if err != nil {
+			return cfg, bad(err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cfg, err
+	}
+	return cfg, cfg.Validate()
+}
+
+// WriteConfig renders cfg in the file syntax ParseConfig accepts.
+func WriteConfig(w io.Writer, cfg Config) error {
+	_, err := fmt.Fprintf(w, `# FDW simulation configuration
+name = %s
+user = %s
+waveforms = %d
+stations = %d
+ruptures_per_job = %d
+waveforms_per_job = %d
+recycle_matrices = %t
+min_mw = %g
+max_mw = %g
+slip_kernel = %s
+seed = %d
+`, cfg.Name, cfg.User, cfg.Waveforms, cfg.Stations, cfg.RupturesPerJob, cfg.WaveformsPerJob,
+		cfg.RecycleMatrices, cfg.MinMw, cfg.MaxMw, cfg.SlipKernel, cfg.Seed)
+	return err
+}

@@ -1,0 +1,380 @@
+package dagman
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fdw/internal/htcondor"
+	"fdw/internal/sim"
+)
+
+// NodeState tracks executor progress for one node.
+type NodeState int
+
+// Node lifecycle states.
+const (
+	NodeWaiting NodeState = iota
+	NodeReady
+	NodeSubmitted
+	NodeDone
+	NodeFailed
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeWaiting:
+		return "waiting"
+	case NodeReady:
+		return "ready"
+	case NodeSubmitted:
+		return "submitted"
+	case NodeDone:
+		return "done"
+	case NodeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// JobFactory materializes the jobs for a node. FDW supplies one that
+// expands the node's submit description with its VARS; tests supply
+// synthetic jobs. A factory error fails the node.
+type JobFactory func(n *Node) ([]*htcondor.Job, error)
+
+// ScriptRunner executes a node's SCRIPT PRE/POST command line. A nil
+// runner treats every script as an immediate success; a non-nil error
+// fails the node (triggering RETRY, as DAGMan does).
+type ScriptRunner func(n *Node, kind, cmdline string) error
+
+// Executor runs a DAG against a schedd. One Executor corresponds to one
+// `condor_submit_dag` invocation in the paper; the concurrent-DAGMans
+// experiment runs several Executors (each with its own schedd identity)
+// against the same pool.
+type Executor struct {
+	Name string
+
+	dag     *DAG
+	kernel  *sim.Kernel
+	schedd  *htcondor.Schedd
+	factory JobFactory
+
+	// Scripts runs SCRIPT PRE/POST command lines (nil = always succeed).
+	Scripts ScriptRunner
+
+	state    map[string]*nodeRun
+	active   map[string]int // category → active node count
+	finished int
+	failed   int
+	started  bool
+
+	StartTime sim.Time
+	EndTime   sim.Time
+	done      bool
+
+	// OnNodeDone, if set, fires when a node completes successfully.
+	OnNodeDone func(n *Node)
+}
+
+type nodeRun struct {
+	node      *Node
+	state     NodeState
+	cluster   int
+	jobs      []*htcondor.Job
+	remaining int
+	attempts  int
+	failures  int
+}
+
+// NewExecutor prepares (but does not start) a DAG run.
+func NewExecutor(name string, d *DAG, k *sim.Kernel, schedd *htcondor.Schedd, factory JobFactory) (*Executor, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("dagman: nil job factory")
+	}
+	e := &Executor{
+		Name:    name,
+		dag:     d,
+		kernel:  k,
+		schedd:  schedd,
+		factory: factory,
+		state:   map[string]*nodeRun{},
+		active:  map[string]int{},
+	}
+	for _, nodeName := range d.Order {
+		e.state[nodeName] = &nodeRun{node: d.Nodes[nodeName]}
+	}
+	schedd.Subscribe(e.onJobEvent)
+	return e, nil
+}
+
+// Schedd returns the executor's schedd.
+func (e *Executor) Schedd() *htcondor.Schedd { return e.schedd }
+
+// Start submits every ready root node. Nodes pre-marked DONE are
+// skipped (rescue-DAG semantics).
+func (e *Executor) Start() error {
+	if e.started {
+		return fmt.Errorf("dagman: executor %q already started", e.Name)
+	}
+	e.started = true
+	e.StartTime = e.kernel.Now()
+	for _, name := range e.dag.Order {
+		nr := e.state[name]
+		if nr.node.Done {
+			nr.state = NodeDone
+			e.finished++
+		}
+	}
+	// A DAG whose every node is pre-DONE finishes immediately.
+	if e.finished == len(e.dag.Order) {
+		e.done = true
+		e.EndTime = e.kernel.Now()
+		return nil
+	}
+	e.dispatchReady()
+	return nil
+}
+
+// Done reports whether every node has finished (or the DAG failed).
+func (e *Executor) Done() bool { return e.done }
+
+// Failed reports whether any node exhausted its retries.
+func (e *Executor) Failed() bool { return e.failed > 0 }
+
+// NodeStates returns a copy of each node's current state.
+func (e *Executor) NodeStates() map[string]NodeState {
+	out := make(map[string]NodeState, len(e.state))
+	for name, nr := range e.state {
+		out[name] = nr.state
+	}
+	return out
+}
+
+// RuntimeSeconds returns the DAG wall time (so far, if still running).
+func (e *Executor) RuntimeSeconds() float64 {
+	end := e.EndTime
+	if !e.done {
+		end = e.kernel.Now()
+	}
+	return float64(end - e.StartTime)
+}
+
+// ready reports whether all parents of n completed.
+func (e *Executor) ready(n *Node) bool {
+	for _, p := range n.Parents {
+		if e.state[p].state != NodeDone {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchReady submits every waiting node whose parents are done,
+// honoring category throttles, in declaration order.
+func (e *Executor) dispatchReady() {
+	for _, name := range e.dag.Order {
+		nr := e.state[name]
+		if nr.state != NodeWaiting && nr.state != NodeReady {
+			continue
+		}
+		if !e.ready(nr.node) {
+			continue
+		}
+		nr.state = NodeReady
+		if cat := nr.node.Category; cat != "" {
+			if limit, ok := e.dag.MaxJobs[cat]; ok && e.active[cat] >= limit {
+				continue
+			}
+		}
+		e.submitNode(nr)
+	}
+}
+
+func (e *Executor) submitNode(nr *nodeRun) {
+	nr.attempts++
+	if nr.node.PreScript != "" && e.Scripts != nil {
+		if err := e.Scripts(nr.node, "PRE", nr.node.PreScript); err != nil {
+			e.failNodeAttempted(nr)
+			return
+		}
+	}
+	jobs, err := e.factory(nr.node)
+	if err != nil || len(jobs) == 0 {
+		e.failNodeAttempted(nr)
+		return
+	}
+	cluster, err := e.schedd.Submit(jobs)
+	if err != nil {
+		e.failNode(nr)
+		return
+	}
+	nr.cluster = cluster
+	nr.jobs = jobs
+	nr.remaining = len(jobs)
+	nr.state = NodeSubmitted
+	if cat := nr.node.Category; cat != "" {
+		e.active[cat]++
+	}
+}
+
+// failNode handles a failure after jobs ran (attempts already counted
+// by submitNode).
+func (e *Executor) failNode(nr *nodeRun) { e.failNodeAttempted(nr) }
+
+// failNodeAttempted retries the node if budget remains, else fails it.
+func (e *Executor) failNodeAttempted(nr *nodeRun) {
+	if nr.attempts <= nr.node.Retry {
+		// Retry: resubmit immediately (DAGMan requeues the node).
+		e.submitNode(nr)
+		return
+	}
+	nr.state = NodeFailed
+	e.failed++
+	e.checkComplete()
+}
+
+// onJobEvent watches the schedd for terminations belonging to our nodes.
+func (e *Executor) onJobEvent(j *htcondor.Job, ev htcondor.EventType) {
+	if ev != htcondor.EventTerminated && ev != htcondor.EventAborted {
+		return
+	}
+	for _, nr := range e.state {
+		if nr.state != NodeSubmitted || nr.cluster != j.Cluster {
+			continue
+		}
+		nr.remaining--
+		if ev == htcondor.EventAborted || j.ExitCode != 0 {
+			nr.failures++
+		}
+		if nr.remaining > 0 {
+			return
+		}
+		// Node finished: all jobs terminated.
+		if cat := nr.node.Category; cat != "" {
+			e.active[cat]--
+		}
+		if nr.failures == 0 && nr.node.PostScript != "" && e.Scripts != nil {
+			if err := e.Scripts(nr.node, "POST", nr.node.PostScript); err != nil {
+				nr.failures++
+			}
+		}
+		if nr.failures > 0 {
+			nr.failures = 0
+			e.failNode(nr)
+		} else {
+			nr.state = NodeDone
+			e.finished++
+			if e.OnNodeDone != nil {
+				e.OnNodeDone(nr.node)
+			}
+			e.checkComplete()
+			if !e.done {
+				e.dispatchReady()
+			}
+		}
+		return
+	}
+}
+
+func (e *Executor) checkComplete() {
+	if e.done {
+		return
+	}
+	for _, nr := range e.state {
+		switch nr.state {
+		case NodeDone, NodeFailed:
+			continue
+		default:
+			// A failed DAG stops making progress once nothing is in
+			// flight and nothing can become ready.
+			if e.failed > 0 && !e.anyInFlight() && !e.anyDispatchable() {
+				e.done = true
+				e.EndTime = e.kernel.Now()
+			}
+			return
+		}
+	}
+	e.done = true
+	e.EndTime = e.kernel.Now()
+}
+
+func (e *Executor) anyInFlight() bool {
+	for _, nr := range e.state {
+		if nr.state == NodeSubmitted {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Executor) anyDispatchable() bool {
+	for _, nr := range e.state {
+		if (nr.state == NodeWaiting || nr.state == NodeReady) && e.ready(nr.node) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteRescue emits a rescue DAG: the original DAG with completed nodes
+// marked DONE, so a re-run resumes where this one stopped.
+func (e *Executor) WriteRescue(w io.Writer) error {
+	rescue := NewDAG()
+	rescue.Comments = append(rescue.Comments,
+		fmt.Sprintf("rescue DAG for %s: %d/%d nodes done", e.Name, e.finished, len(e.dag.Order)))
+	for _, name := range e.dag.Order {
+		orig := e.dag.Nodes[name]
+		n := &Node{
+			Name:       orig.Name,
+			SubmitFile: orig.SubmitFile,
+			Vars:       orig.Vars,
+			Retry:      orig.Retry,
+			Category:   orig.Category,
+			PreScript:  orig.PreScript,
+			PostScript: orig.PostScript,
+			Done:       e.state[name].state == NodeDone,
+		}
+		if err := rescue.AddNode(n); err != nil {
+			return err
+		}
+	}
+	for _, name := range e.dag.Order {
+		for _, c := range e.dag.Nodes[name].Children {
+			if err := rescue.AddEdge(name, c); err != nil {
+				return err
+			}
+		}
+	}
+	for c, v := range e.dag.MaxJobs {
+		rescue.MaxJobs[c] = v
+	}
+	return rescue.Write(w)
+}
+
+// Progress summarizes node states for monitoring displays.
+func (e *Executor) Progress() string {
+	counts := map[NodeState]int{}
+	for _, nr := range e.state {
+		counts[nr.state]++
+	}
+	states := []NodeState{NodeWaiting, NodeReady, NodeSubmitted, NodeDone, NodeFailed}
+	parts := make([]string, 0, len(states))
+	for _, s := range states {
+		if counts[s] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", s, counts[s]))
+		}
+	}
+	sort.Strings(parts)
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

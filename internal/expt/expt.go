@@ -1,0 +1,231 @@
+// Package expt regenerates every figure in the paper's evaluation
+// (Figs. 2–6) plus the §6 headline comparison, printing the same rows
+// and series the paper reports. Each experiment takes an Options with
+// a Scale knob: Scale 1.0 is the paper's full workload; smaller scales
+// shrink waveform counts proportionally for quick runs while keeping
+// the shapes.
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"fdw/internal/core"
+	"fdw/internal/ospool"
+	"fdw/internal/sim"
+	"fdw/internal/stats"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seeds are the repetition seeds; the paper runs three repetitions
+	// of everything.
+	Seeds []uint64
+	// Scale multiplies waveform quantities (1.0 = paper size).
+	Scale float64
+	// Pool is the OSPool model configuration.
+	Pool ospool.Config
+	// Horizon bounds each simulated batch.
+	Horizon sim.Time
+	// Out receives the printed rows; nil discards them.
+	Out io.Writer
+}
+
+// DefaultOptions mirrors the paper: three repetitions at full scale.
+func DefaultOptions() Options {
+	return Options{
+		Seeds:   []uint64{11, 23, 47},
+		Scale:   1.0,
+		Pool:    ospool.DefaultConfig(),
+		Horizon: 1000 * 3600,
+	}
+}
+
+func (o Options) validate() error {
+	if len(o.Seeds) == 0 {
+		return fmt.Errorf("expt: no seeds")
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("expt: scale %v outside (0,1]", o.Scale)
+	}
+	if o.Horizon <= 0 {
+		return fmt.Errorf("expt: non-positive horizon")
+	}
+	return o.Pool.Validate()
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// scaleN scales a paper waveform quantity, keeping it workable.
+func (o Options) scaleN(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// runOne executes a single FDW workflow and returns (runtime hours,
+// throughput JPM, completed jobs).
+func runOne(opt Options, cfg core.Config, seed uint64) (float64, float64, int, error) {
+	env, err := core.NewEnv(seed, opt.Pool)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	w, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {
+		return 0, 0, 0, err
+	}
+	return w.RuntimeHours(), w.ThroughputJPM(), w.Schedd.Completed(), nil
+}
+
+// Fig2Row is one point of Fig. 2: a (station list, quantity) cell with
+// its three-repetition statistics — formulas (1) and (2).
+type Fig2Row struct {
+	Stations  int
+	Waveforms int
+	Jobs      int
+
+	RuntimeH   float64 // formula (1), hours
+	RuntimeSD  float64
+	RuntimeMin float64
+	RuntimeMax float64
+
+	ThroughputJPM float64 // formula (2)
+	ThroughputSD  float64
+}
+
+// Fig2Quantities are the paper's six waveform quantities.
+var Fig2Quantities = []int{1024, 2000, 5120, 10000, 24960, 50000}
+
+// Fig2 reruns §4.1/§5.1: increasing quantities × {2, 121} stations.
+func Fig2(opt Options) ([]Fig2Row, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	w := opt.out()
+	fmt.Fprintf(w, "Fig. 2 — increasing earthquake simulation quantities (scale %.2f, %d reps)\n", opt.Scale, len(opt.Seeds))
+	fmt.Fprintf(w, "%8s %9s %7s | %21s | %18s\n", "stations", "waveforms", "jobs", "avg runtime h (sd)", "avg JPM (sd)")
+	var rows []Fig2Row
+	for _, stations := range []int{2, 121} {
+		for _, q := range Fig2Quantities {
+			n := opt.scaleN(q)
+			var rts, jpms, jobs []float64
+			for _, seed := range opt.Seeds {
+				cfg := core.DefaultConfig()
+				cfg.Name = fmt.Sprintf("fig2-s%d-q%d", stations, n)
+				cfg.Stations = stations
+				cfg.Waveforms = n
+				cfg.Seed = seed
+				rt, jpm, done, err := runOne(opt, cfg, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig2 %d×%d: %w", stations, n, err)
+				}
+				rts = append(rts, rt)
+				jpms = append(jpms, jpm)
+				jobs = append(jobs, float64(done))
+			}
+			row := Fig2Row{
+				Stations:      stations,
+				Waveforms:     n,
+				Jobs:          int(stats.Mean(jobs)),
+				RuntimeH:      stats.AvgTotalRuntime(rts),
+				RuntimeSD:     stats.SD(rts),
+				RuntimeMin:    stats.Min(rts),
+				RuntimeMax:    stats.Max(rts),
+				ThroughputJPM: stats.Mean(jpms),
+				ThroughputSD:  stats.SD(jpms),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%8d %9d %7d | %10.2f (%6.2f) | %10.2f (%5.2f)\n",
+				row.Stations, row.Waveforms, row.Jobs,
+				row.RuntimeH, row.RuntimeSD, row.ThroughputJPM, row.ThroughputSD)
+		}
+	}
+	return rows, nil
+}
+
+// Fig3Row is one concurrency level of Fig. 3 — formulas (3) and (4).
+type Fig3Row struct {
+	DAGMans       int
+	WaveformsEach int
+
+	RuntimeH      float64 // formula (3), per-DAGMan average, hours
+	RuntimeSD     float64
+	RuntimeMin    float64
+	RuntimeMax    float64
+	ThroughputJPM float64 // formula (4), per-DAGMan average
+	MakespanH     float64 // batch wall time (all DAGMans done), averaged
+}
+
+// Fig3Concurrency is the paper's DAGMan partition ladder.
+var Fig3Concurrency = []int{1, 2, 4, 8}
+
+// Fig3Total is the joint waveform target of §4.2.
+const Fig3Total = 16000
+
+// Fig3 reruns §4.2/§5.2: N concurrent DAGMans jointly producing 16,000
+// waveforms with the full Chilean input, all under one OSG user.
+func Fig3(opt Options) ([]Fig3Row, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	w := opt.out()
+	total := opt.scaleN(Fig3Total)
+	fmt.Fprintf(w, "Fig. 3 — concurrent HTCondor DAGMans jointly making %d waveforms (%d reps)\n", total, len(opt.Seeds))
+	fmt.Fprintf(w, "%7s %9s | %21s | %12s | %10s\n", "dagmans", "wf each", "avg runtime h (sd)", "avg JPM", "makespan h")
+	var rows []Fig3Row
+	for _, n := range Fig3Concurrency {
+		each := total / n
+		var rts, jpms, makespans []float64
+		for _, seed := range opt.Seeds {
+			env, err := core.NewEnv(seed, opt.Pool)
+			if err != nil {
+				return nil, err
+			}
+			var wfs []*core.Workflow
+			for i := 0; i < n; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Name = fmt.Sprintf("fig3-n%d-d%d", n, i)
+				cfg.Waveforms = each
+				cfg.Seed = seed*1000 + uint64(i)
+				wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
+				if err != nil {
+					return nil, err
+				}
+				wfs = append(wfs, wf)
+			}
+			if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
+				return nil, fmt.Errorf("fig3 n=%d: %w", n, err)
+			}
+			for _, wf := range wfs {
+				rts = append(rts, wf.RuntimeHours())
+				jpms = append(jpms, wf.ThroughputJPM())
+			}
+			makespans = append(makespans, float64(env.Kernel.Now())/3600)
+		}
+		row := Fig3Row{
+			DAGMans:       n,
+			WaveformsEach: each,
+			RuntimeH:      stats.AvgRuntimeAcrossDAGMans(rts),
+			RuntimeSD:     stats.SD(rts),
+			RuntimeMin:    stats.Min(rts),
+			RuntimeMax:    stats.Max(rts),
+			ThroughputJPM: stats.Mean(jpms),
+			MakespanH:     stats.Mean(makespans),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%7d %9d | %10.2f (%6.2f) | %12.2f | %10.2f\n",
+			row.DAGMans, row.WaveformsEach, row.RuntimeH, row.RuntimeSD,
+			row.ThroughputJPM, row.MakespanH)
+	}
+	return rows, nil
+}

@@ -1,0 +1,490 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fdw/internal/core"
+)
+
+// quickOptions shrinks everything for test speed: one seed, 2% scale.
+func quickOptions() Options {
+	opt := DefaultOptions()
+	opt.Seeds = []uint64{7}
+	opt.Scale = 0.02
+	return opt
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := DefaultOptions()
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.Seeds = nil },
+		func(o *Options) { o.Scale = 0 },
+		func(o *Options) { o.Scale = 1.5 },
+		func(o *Options) { o.Horizon = 0 },
+		func(o *Options) { o.Pool.MatchesPerCycle = 0 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Fatalf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestScaleN(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.5
+	if got := o.scaleN(1024); got != 512 {
+		t.Fatalf("scaleN = %d", got)
+	}
+	o.Scale = 0.001
+	if got := o.scaleN(1024); got != 16 {
+		t.Fatalf("scale floor = %d, want 16", got)
+	}
+}
+
+func TestFig2ShapeAtSmallScale(t *testing.T) {
+	opt := quickOptions()
+	var out bytes.Buffer
+	opt.Out = &out
+	rows, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	// Shape: small-input throughput exceeds full-input at every quantity.
+	for i := 0; i < 6; i++ {
+		small, full := rows[i], rows[i+6]
+		if small.Stations != 2 || full.Stations != 121 {
+			t.Fatalf("row layout wrong: %+v %+v", small, full)
+		}
+		if small.ThroughputJPM <= full.ThroughputJPM {
+			t.Fatalf("q=%d: small input %.2f JPM <= full %.2f", small.Waveforms,
+				small.ThroughputJPM, full.ThroughputJPM)
+		}
+		if small.RuntimeH >= full.RuntimeH {
+			t.Fatalf("q=%d: small input slower than full", small.Waveforms)
+		}
+	}
+	// Shape: throughput grows with quantity for the small input.
+	if rows[5].ThroughputJPM <= rows[0].ThroughputJPM {
+		t.Fatalf("small-input throughput did not grow: %.2f → %.2f",
+			rows[0].ThroughputJPM, rows[5].ThroughputJPM)
+	}
+	if !strings.Contains(out.String(), "Fig. 2") {
+		t.Fatal("no printed output")
+	}
+}
+
+func TestFig3ShapeAtSmallScale(t *testing.T) {
+	opt := quickOptions()
+	opt.Scale = 0.04
+	rows, err := Fig3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Per-DAGMan throughput decreases as concurrency increases.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ThroughputJPM >= rows[i-1].ThroughputJPM {
+			t.Fatalf("per-DAG throughput did not fall: n=%d %.2f vs n=%d %.2f",
+				rows[i].DAGMans, rows[i].ThroughputJPM, rows[i-1].DAGMans, rows[i-1].ThroughputJPM)
+		}
+	}
+	// Runtime does not shrink proportionally: at n=8 each DAG has 1/8 the
+	// work but takes well over 1/8 the single-DAG runtime.
+	if rows[3].RuntimeH < rows[0].RuntimeH/4 {
+		t.Fatalf("partitioning helped too much: n=1 %.2fh, n=8 %.2fh",
+			rows[0].RuntimeH, rows[3].RuntimeH)
+	}
+}
+
+func TestFig4CollectsDistributions(t *testing.T) {
+	opt := quickOptions()
+	opt.Scale = 0.03
+	data, err := Fig4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4 {
+		t.Fatalf("%d levels", len(data))
+	}
+	d1 := data[0]
+	if d1.WaveformExecMin.N == 0 || d1.RuptureExecMin.N == 0 {
+		t.Fatal("no job distributions collected")
+	}
+	if d1.PeakRunning <= 0 || d1.PeakInstantJPM <= 0 {
+		t.Fatalf("peaks %d / %v", d1.PeakRunning, d1.PeakInstantJPM)
+	}
+	if len(d1.InstantJPM) == 0 || len(d1.RunningJobs) == 0 {
+		t.Fatal("per-second series empty")
+	}
+	// Sorted series really are sorted.
+	for i := 1; i < len(d1.ExecSortedMin); i++ {
+		if d1.ExecSortedMin[i] < d1.ExecSortedMin[i-1] {
+			t.Fatal("exec series not sorted")
+		}
+	}
+	// §5.2.3 shape: waits grow with concurrency (n=4 vs n=1).
+	if data[2].WaveformWaitMin.Mean <= data[0].WaveformWaitMin.Mean {
+		t.Logf("warning: n=4 wait %.1f <= n=1 wait %.1f (may happen at tiny scale)",
+			data[2].WaveformWaitMin.Mean, data[0].WaveformWaitMin.Mean)
+	}
+}
+
+func TestFig5SweepShape(t *testing.T) {
+	opt := quickOptions()
+	opt.Scale = 0.03
+	cells, err := Fig5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 batches × (1 control + 14 combinations).
+	if len(cells) != 2*(1+len(Fig5ProbeTimes)*len(Fig5QueueTimesMin)) {
+		t.Fatalf("%d cells", len(cells))
+	}
+	byBatch := map[string][]Fig5Cell{}
+	for _, c := range cells {
+		byBatch[c.Batch] = append(byBatch[c.Batch], c)
+	}
+	for name, cs := range byBatch {
+		control := cs[0]
+		if !control.Control {
+			t.Fatalf("%s: first cell is not the control", name)
+		}
+		if control.CostUSD != 0 || control.BurstedPct != 0 {
+			t.Fatalf("%s: control has bursting side effects", name)
+		}
+		for _, c := range cs[1:] {
+			if c.Control {
+				t.Fatal("duplicate control")
+			}
+			// Bursting never hurts AIT; the Fig. 5 sweep is uncapped.
+			if c.AvgJPM < control.AvgJPM-1e-9 {
+				t.Fatalf("%s probe %v: AIT %.2f below control %.2f", name, c.ProbeSecs, c.AvgJPM, control.AvgJPM)
+			}
+			if c.BurstedPct > 100 {
+				t.Fatalf("%s probe %v: bursted %.1f%%", name, c.ProbeSecs, c.BurstedPct)
+			}
+			if c.RuntimeH > control.RuntimeH+1e-9 {
+				t.Fatalf("%s probe %v: bursting extended runtime", name, c.ProbeSecs)
+			}
+		}
+		// Shape: the fastest probe bursts at least as much as the slowest.
+		probe1 := cs[1]
+		probe120 := cs[len(Fig5ProbeTimes)]
+		if probe1.ProbeSecs != 1 || probe120.ProbeSecs != 120 {
+			t.Fatalf("cell ordering unexpected: %v %v", probe1.ProbeSecs, probe120.ProbeSecs)
+		}
+		if probe1.BurstedPct < probe120.BurstedPct {
+			t.Fatalf("%s: probe 1s bursted %.1f%% < probe 120s %.1f%%", name, probe1.BurstedPct, probe120.BurstedPct)
+		}
+	}
+}
+
+func TestFig5UsageShape(t *testing.T) {
+	// §5.3.2: faster probing yields higher VDC usage.
+	opt := quickOptions()
+	opt.Scale = 0.03
+	cells, err := Fig5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cs := range groupCells(cells) {
+		probe1 := cs[1]
+		probe120 := cs[len(Fig5ProbeTimes)]
+		if probe1.VDCPct < probe120.VDCPct {
+			t.Fatalf("%s: probe 1s usage %.1f%% < probe 120s %.1f%%", name, probe1.VDCPct, probe120.VDCPct)
+		}
+	}
+}
+
+func TestFig6CapAndCost(t *testing.T) {
+	// §5.3.4: with the 30% cap, bursting stays within the cap and cost
+	// stays dollars-scale.
+	opt := quickOptions()
+	opt.Scale = 0.03
+	cells, err := Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.BurstedPct > 30.01 {
+			t.Fatalf("%s probe %v: bursted %.1f%% despite 30%% cap", c.Batch, c.ProbeSecs, c.BurstedPct)
+		}
+		if c.CostUSD < 0 || c.CostUSD > 50 {
+			t.Fatalf("%s probe %v: implausible cost $%.2f", c.Batch, c.ProbeSecs, c.CostUSD)
+		}
+	}
+}
+
+func groupCells(cells []Fig5Cell) map[string][]Fig5Cell {
+	byBatch := map[string][]Fig5Cell{}
+	for _, c := range cells {
+		byBatch[c.Batch] = append(byBatch[c.Batch], c)
+	}
+	return byBatch
+}
+
+func TestHeadlineShape(t *testing.T) {
+	// The headline speedup needs realistic scale: below ~100 waveforms
+	// the serial B-phase floor dominates FDW and the single machine
+	// legitimately wins, so run this one at half the paper's size.
+	opt := quickOptions()
+	opt.Scale = 0.5
+	res, err := Headline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FDWHours <= 0 || res.BaselineHours <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// Shape: parallel FDW beats the single machine, and throughput grows
+	// strongly with quantity.
+	if res.DecreasePct <= 0 {
+		t.Fatalf("FDW slower than single machine: %+v", res)
+	}
+	if res.ThroughputGain <= 1.5 {
+		t.Fatalf("throughput gain %.2f, want > 1.5", res.ThroughputGain)
+	}
+}
+
+func TestFig1Products(t *testing.T) {
+	prod, err := Fig1(3, 8.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Rupture == nil || len(prod.Waveforms) != 3 {
+		t.Fatalf("products %+v", prod)
+	}
+	if prod.Rupture.ActualMw < 8.0 || prod.Rupture.ActualMw > 8.4 {
+		t.Fatalf("rupture Mw %v", prod.Rupture.ActualMw)
+	}
+	for _, w := range prod.Waveforms {
+		if w.PGD() <= 0 {
+			t.Fatalf("station %s PGD %v", w.Station, w.PGD())
+		}
+	}
+	if _, err := Fig1(3, 8.2, 0); err == nil {
+		t.Fatal("zero stations accepted")
+	}
+}
+
+func TestMakeBatchTracesDistinct(t *testing.T) {
+	opt := quickOptions()
+	batches, jobs, err := MakeBatchTraces(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || len(jobs) != 2 {
+		t.Fatalf("%d batches", len(batches))
+	}
+	if batches[0].Name == batches[1].Name {
+		t.Fatal("batches share a name")
+	}
+	if batches[0].Duration() == batches[1].Duration() {
+		t.Fatal("suspiciously identical batch durations for different seeds")
+	}
+	for i, js := range jobs {
+		if len(js) == 0 {
+			t.Fatalf("batch %d has no jobs", i)
+		}
+	}
+}
+
+func TestAblationRecycling(t *testing.T) {
+	opt := quickOptions()
+	rows, err := AblationRecycling(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Regenerating matrices costs an extra job and cannot be faster.
+	if rows[1].Jobs != rows[0].Jobs+1 {
+		t.Fatalf("jobs %d vs %d, want +1 matrix job", rows[1].Jobs, rows[0].Jobs)
+	}
+	if rows[1].RuntimeH < rows[0].RuntimeH {
+		t.Fatalf("regenerating matrices was faster: %.2f vs %.2f", rows[1].RuntimeH, rows[0].RuntimeH)
+	}
+}
+
+func TestAblationStash(t *testing.T) {
+	opt := quickOptions()
+	rows, err := AblationStash(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// All-cold transfers must not beat the cache.
+	if rows[1].RuntimeH < rows[0].RuntimeH {
+		t.Fatalf("cacheless run faster: %.2f vs %.2f", rows[1].RuntimeH, rows[0].RuntimeH)
+	}
+}
+
+func TestAblationFanout(t *testing.T) {
+	opt := quickOptions()
+	rows, err := AblationFanout(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Finer fan-out means more jobs.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Jobs >= rows[i-1].Jobs {
+			t.Fatalf("fan-out rows not decreasing in jobs: %+v", rows)
+		}
+	}
+}
+
+func TestPolicy3Sweep(t *testing.T) {
+	opt := quickOptions()
+	opt.Scale = 0.03
+	rows, err := Policy3Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgJPM <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestElasticComparison(t *testing.T) {
+	opt := quickOptions()
+	opt.Scale = 0.03
+	rows, err := ElasticComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Per batch: elastic should match or beat Policy 1's AIT at the
+	// same cadence (it can burst more per probe).
+	for i := 0; i < len(rows); i += 2 {
+		p1, el := rows[i], rows[i+1]
+		if el.AvgJPM < p1.AvgJPM-1e-9 {
+			t.Fatalf("%s: elastic AIT %.2f < policy-1 %.2f", p1.Batch, el.AvgJPM, p1.AvgJPM)
+		}
+	}
+}
+
+func TestCalibration16kRegression(t *testing.T) {
+	// Full-scale calibration guard: one 16,000-waveform full-input
+	// DAGMan must land in the neighborhood the paper reports
+	// (§5.2: 14.1 h at 10.7 JPM). Wide bounds — this catches model
+	// regressions, not noise.
+	opt := DefaultOptions()
+	opt.Seeds = []uint64{11}
+	cfg := core.DefaultConfig()
+	cfg.Waveforms = 16000
+	cfg.Name = "calib16k"
+	rt, jpm, jobs, err := runOne(opt, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs != 9001 {
+		t.Fatalf("job count %d, want 9001", jobs)
+	}
+	if rt < 7 || rt > 16 {
+		t.Fatalf("16k runtime %.2f h outside calibrated band [7, 16]", rt)
+	}
+	if jpm < 9 || jpm > 22 {
+		t.Fatalf("16k throughput %.2f JPM outside calibrated band [9, 22]", jpm)
+	}
+	// §5.2.3 anchors: waveform exec 15–20 min scale on the reference slot.
+	if s := core.WaveformJobSecs(121, 2); s < 900 || s > 1200 {
+		t.Fatalf("waveform job model drifted: %v s", s)
+	}
+}
+
+func TestAblationChurn(t *testing.T) {
+	opt := quickOptions()
+	rows, err := AblationChurn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Churn never speeds the workflow up, and both runs complete fully.
+	if rows[1].RuntimeH < rows[0].RuntimeH {
+		t.Fatalf("churny pool faster: %.2f vs %.2f", rows[1].RuntimeH, rows[0].RuntimeH)
+	}
+	if rows[0].Jobs != rows[1].Jobs {
+		t.Fatalf("job completion differs: %d vs %d", rows[0].Jobs, rows[1].Jobs)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	fig2 := []Fig2Row{{Stations: 2, Waveforms: 100, Jobs: 57, RuntimeH: 0.5, ThroughputJPM: 1.9}}
+	if err := WriteFig2CSV(&buf, fig2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "stations,waveforms,jobs") {
+		t.Fatalf("fig2 header: %q", buf.String())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("fig2 CSV has %d lines", lines)
+	}
+
+	buf.Reset()
+	fig3 := []Fig3Row{{DAGMans: 4, WaveformsEach: 4000, RuntimeH: 8.1, ThroughputJPM: 4.7, MakespanH: 8.8}}
+	if err := WriteFig3CSV(&buf, fig3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4,4000") {
+		t.Fatalf("fig3 CSV: %q", buf.String())
+	}
+
+	buf.Reset()
+	fig4 := Fig4Data{
+		DAGMans:     1,
+		InstantJPM:  []core.SeriesPoint{{T: 0, V: 0}, {T: 1, V: 2}},
+		RunningJobs: []core.SeriesPoint{{T: 0, V: 1}, {T: 1, V: 3}},
+	}
+	if err := WriteFig4SeriesCSV(&buf, fig4); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("fig4 CSV has %d lines", lines)
+	}
+
+	buf.Reset()
+	cells := []Fig5Cell{{Batch: "b1", Control: true, AvgJPM: 11.5}, {Batch: "b1", ProbeSecs: 1, MaxQueueM: 90, AvgJPM: 28.5}}
+	if err := WriteFig5CSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "b1,1,") || !strings.Contains(buf.String(), "b1,0,") {
+		t.Fatalf("fig5 CSV control flags: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteSeriesCSV(&buf, "jpm", []core.SeriesPoint{{T: 5, V: 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "second,jpm") {
+		t.Fatalf("series CSV: %q", buf.String())
+	}
+}

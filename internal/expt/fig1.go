@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+
+	"fdw/internal/fakequakes"
+	"fdw/internal/geom"
+	"fdw/internal/sim"
+)
+
+// Fig1Products holds one rupture scenario and its GNSS waveforms — the
+// data the paper visualizes in Fig. 1 (a simulated rupture's slip
+// distribution on the fault and displacement waveforms at stations).
+type Fig1Products struct {
+	Rupture   *fakequakes.Rupture
+	Waveforms []fakequakes.Waveform
+	Fault     *geom.Fault
+	Stations  []geom.Station
+}
+
+// Fig1 runs the FakeQuakes kernels end-to-end on a coarse Chilean mesh
+// for one target magnitude and a station subset, returning the Fig. 1
+// data products. nStations controls cost (the paper plots a handful).
+func Fig1(seed uint64, targetMw float64, nStations int) (*Fig1Products, error) {
+	if nStations <= 0 {
+		return nil, fmt.Errorf("expt: need at least one station")
+	}
+	cfg := geom.DefaultChileFault()
+	cfg.SubfaultKm = 20 // coarse mesh keeps the demo fast
+	fault, err := geom.BuildFault(cfg)
+	if err != nil {
+		return nil, err
+	}
+	all := geom.FullChileanStations()
+	if nStations > len(all) {
+		nStations = len(all)
+	}
+	stations := all[:nStations]
+
+	dist := fakequakes.ComputeDistanceMatrices(fault, stations)
+	gen, err := fakequakes.NewGenerator(fault, dist)
+	if err != nil {
+		return nil, err
+	}
+	gen.Kern = fakequakes.VonKarmanApprox
+	rng := sim.NewRNG(seed)
+	rupture, err := gen.GenerateMw("run000001", targetMw, rng)
+	if err != nil {
+		return nil, err
+	}
+	gf, err := fakequakes.ComputeGreens(fault, stations, dist, fakequakes.DefaultGFConfig())
+	if err != nil {
+		return nil, err
+	}
+	wfs, err := fakequakes.SynthesizeWaveforms(rupture, gf, fakequakes.DefaultNoise(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Products{
+		Rupture:   rupture,
+		Waveforms: wfs,
+		Fault:     fault,
+		Stations:  stations,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"fdw/internal/core"
+	"fdw/internal/stats"
+)
+
+// Fig4Data holds one concurrency level's per-job and per-second views
+// (§5.2.3/§5.2.4): execution and wait time distributions, instant
+// throughput, and the running-job footprint of the first DAGMan.
+type Fig4Data struct {
+	DAGMans int
+
+	// Per-job distributions (minutes), across all DAGMans in the batch.
+	WaveformExecMin stats.Summary
+	WaveformWaitMin stats.Summary
+	RuptureExecMin  stats.Summary
+	RuptureWaitMin  stats.Summary
+
+	// Sorted per-job series for the Fig. 4 duration plots.
+	ExecSortedMin []float64
+	WaitSortedMin []float64
+
+	// Per-second series for the first DAGMan.
+	InstantJPM  []core.SeriesPoint
+	RunningJobs []core.SeriesPoint
+
+	PeakRunning    int
+	PeakInstantJPM float64
+}
+
+// Fig4 reruns the §5.2.3/§5.2.4 measurements for each concurrency
+// level, reusing the Fig. 3 batch construction with per-second probes.
+func Fig4(opt Options) ([]Fig4Data, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	w := opt.out()
+	total := opt.scaleN(Fig3Total)
+	fmt.Fprintf(w, "Fig. 4 — job execution/wait times and per-second footprints (%d waveforms)\n", total)
+	seed := opt.Seeds[0]
+	var out []Fig4Data
+	for _, n := range Fig3Concurrency {
+		env, err := core.NewEnv(seed, opt.Pool)
+		if err != nil {
+			return nil, err
+		}
+		var wfs []*core.Workflow
+		var logs []*bytes.Buffer
+		for i := 0; i < n; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Name = fmt.Sprintf("fig4-n%d-d%d", n, i)
+			cfg.Waveforms = total / n
+			cfg.Seed = seed*1000 + uint64(i)
+			buf := &bytes.Buffer{}
+			wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, buf)
+			if err != nil {
+				return nil, err
+			}
+			wfs = append(wfs, wf)
+			logs = append(logs, buf)
+		}
+		if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
+			return nil, fmt.Errorf("fig4 n=%d: %w", n, err)
+		}
+
+		data := Fig4Data{DAGMans: n}
+		var wExec, wWait, rExec, rWait []float64
+		for _, wf := range wfs {
+			for _, j := range wf.Schedd.AllJobs() {
+				if j.ExecSeconds() <= 0 {
+					continue
+				}
+				execMin := j.ExecSeconds() / 60
+				waitMin := j.WaitSeconds() / 60
+				switch {
+				case j.Executable == "fdw_phase_C.sh":
+					wExec = append(wExec, execMin)
+					wWait = append(wWait, waitMin)
+				case j.Executable == "fdw_phase_A.sh":
+					rExec = append(rExec, execMin)
+					rWait = append(rWait, waitMin)
+				}
+				data.ExecSortedMin = append(data.ExecSortedMin, execMin)
+				data.WaitSortedMin = append(data.WaitSortedMin, waitMin)
+			}
+		}
+		sort.Float64s(data.ExecSortedMin)
+		sort.Float64s(data.WaitSortedMin)
+		data.WaveformExecMin = stats.Summarize(wExec)
+		data.WaveformWaitMin = stats.Summarize(wWait)
+		data.RuptureExecMin = stats.Summarize(rExec)
+		data.RuptureWaitMin = stats.Summarize(rWait)
+
+		// Per-second series from the first DAGMan's HTCondor log.
+		events := wfs[0].Schedd.Log().Events()
+		data.InstantJPM = core.InstantThroughputSeries(events, 1)
+		data.RunningJobs = core.RunningJobsSeries(events, 1)
+		for _, p := range data.InstantJPM {
+			if p.V > data.PeakInstantJPM {
+				data.PeakInstantJPM = p.V
+			}
+		}
+		for _, p := range data.RunningJobs {
+			if int(p.V) > data.PeakRunning {
+				data.PeakRunning = int(p.V)
+			}
+		}
+		out = append(out, data)
+		fmt.Fprintf(w, "  n=%d: waveform exec %.1f min (sd %.1f), wait %.1f min (sd %.1f); rupture exec %.1f min; peak running %d; peak instant %.1f JPM\n",
+			n, data.WaveformExecMin.Mean, data.WaveformExecMin.SD,
+			data.WaveformWaitMin.Mean, data.WaveformWaitMin.SD,
+			data.RuptureExecMin.Mean, data.PeakRunning, data.PeakInstantJPM)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package expt
+
+import (
+	"fmt"
+
+	"fdw/internal/burst"
+	"fdw/internal/core"
+	"fdw/internal/wtrace"
+)
+
+// Fig5Cell is one parameter combination of the §4.3 bursting sweep.
+// Fig. 5 cells run uncapped (the sweep explores how far each policy
+// pushes VDC usage); Fig. 6 cells rerun the sweep with the paper's
+// 30% bursted-job cap for the cost/runtime comparison.
+type Fig5Cell struct {
+	Batch      string
+	ProbeSecs  float64
+	MaxQueueM  float64
+	Control    bool
+	AvgJPM     float64 // average instant throughput, formula (6)
+	MaxJPM     float64
+	SDJPM      float64
+	VDCPct     float64 // VDC usage: % of completions on VDC (§5.3.2)
+	BurstedPct float64
+	RuntimeH   float64
+	CostUSD    float64 // formula (7)
+}
+
+// Fig5ProbeTimes are the paper's Policy 1 probe intervals (seconds).
+var Fig5ProbeTimes = []float64{1, 2, 5, 10, 30, 60, 120}
+
+// Fig5QueueTimesMin are the Policy 2 maximum queue times (minutes).
+var Fig5QueueTimesMin = []float64{90, 120}
+
+// Fig5Threshold is the Policy 1 instant-throughput threshold (JPM).
+const Fig5Threshold = 34
+
+// MakeBatchTraces produces the experiment's input: job-time traces of
+// two real single-DAGMan batches that each generated 16,000 (scaled)
+// waveforms, exactly the §4.2 runs the paper reuses in §4.3.
+func MakeBatchTraces(opt Options) (batches []wtrace.BatchRecord, jobs [][]wtrace.JobRecord, err error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	total := opt.scaleN(Fig3Total)
+	for i, seed := range []uint64{opt.Seeds[0], opt.Seeds[0] + 101} {
+		env, err := core.NewEnv(seed, opt.Pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Name = fmt.Sprintf("batch%d", i+1)
+		cfg.Waveforms = total
+		cfg.Seed = seed
+		w, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {
+			return nil, nil, fmt.Errorf("trace batch %d: %w", i+1, err)
+		}
+		b, js, err := wtrace.FromSchedd(cfg.Name, w.Schedd)
+		if err != nil {
+			return nil, nil, err
+		}
+		batches = append(batches, b)
+		jobs = append(jobs, js)
+	}
+	return batches, jobs, nil
+}
+
+// Fig5 reruns §4.3/§5.3.1–5.3.2: the probe-time × queue-time sweep
+// over two batches with no bursting cap, with the pure-OSG control
+// first for each batch.
+func Fig5(opt Options) ([]Fig5Cell, error) {
+	batches, jobs, err := MakeBatchTraces(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5FromTraces(opt, batches, jobs, 1.0, "Fig. 5")
+}
+
+// Fig6 reruns §5.3.3–5.3.4: the same sweep with the paper's 30%
+// bursted-job cap, whose cost and runtime columns Fig. 6 plots.
+func Fig6(opt Options) ([]Fig5Cell, error) {
+	batches, jobs, err := MakeBatchTraces(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5FromTraces(opt, batches, jobs, burst.DefaultMaxBurstFraction, "Fig. 6")
+}
+
+// Fig5FromTraces runs the sweep over previously generated traces with
+// the given bursting cap.
+func Fig5FromTraces(opt Options, batches []wtrace.BatchRecord, jobs [][]wtrace.JobRecord, maxBurstFraction float64, label string) ([]Fig5Cell, error) {
+	w := opt.out()
+	fmt.Fprintf(w, "%s — VDC bursting sweep (threshold %d JPM, probes %v s, queue caps %v min, burst cap %.0f%%)\n",
+		label, Fig5Threshold, Fig5ProbeTimes, Fig5QueueTimesMin, maxBurstFraction*100)
+	fmt.Fprintf(w, "%8s %7s %7s | %8s %8s %8s | %7s %9s %9s\n",
+		"batch", "probe s", "queue m", "AIT jpm", "max jpm", "VDC %", "burst %", "runtime h", "cost $")
+	var cells []Fig5Cell
+	for bi, batch := range batches {
+		controlCfg := burst.DefaultConfig()
+		controlCfg.MaxBurstFraction = maxBurstFraction
+		control, err := burst.Simulate(batch, jobs[bi], controlCfg)
+		if err != nil {
+			return nil, fmt.Errorf("control %s: %w", batch.Name, err)
+		}
+		cc := cellFrom(batch.Name, 0, 0, control)
+		cc.Control = true
+		cells = append(cells, cc)
+		fmt.Fprintf(w, "%8s %7s %7s | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
+			batch.Name, "ctl", "-", cc.AvgJPM, cc.MaxJPM, cc.VDCPct, cc.BurstedPct, cc.RuntimeH, cc.CostUSD)
+		for _, queueM := range Fig5QueueTimesMin {
+			for _, probe := range Fig5ProbeTimes {
+				cfg := burst.DefaultConfig()
+				cfg.MaxBurstFraction = maxBurstFraction
+				cfg.P1 = &burst.Policy1{ProbeSecs: probe, ThresholdJPM: Fig5Threshold}
+				cfg.P2 = &burst.Policy2{MaxQueueSecs: queueM * 60}
+				res, err := burst.Simulate(batch, jobs[bi], cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s probe %v queue %v: %w", batch.Name, probe, queueM, err)
+				}
+				cell := cellFrom(batch.Name, probe, queueM, res)
+				cells = append(cells, cell)
+				fmt.Fprintf(w, "%8s %7.0f %7.0f | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
+					batch.Name, probe, queueM, cell.AvgJPM, cell.MaxJPM, cell.VDCPct,
+					cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func cellFrom(name string, probe, queueM float64, r *burst.Result) Fig5Cell {
+	return Fig5Cell{
+		Batch:      name,
+		ProbeSecs:  probe,
+		MaxQueueM:  queueM,
+		AvgJPM:     r.AvgInstantJPM,
+		MaxJPM:     r.MaxInstantJPM,
+		SDJPM:      r.SDInstantJPM,
+		VDCPct:     r.VDCUsagePct,
+		BurstedPct: r.BurstedPct,
+		RuntimeH:   r.RuntimeSecs / 3600,
+		CostUSD:    r.CostUSD,
+	}
+}

@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"fmt"
+
+	"fdw/internal/baseline"
+	"fdw/internal/core"
+	"fdw/internal/stats"
+)
+
+// HeadlineResult is the §6 comparison: FDW versus an automated
+// single-machine FakeQuakes run for 1,024 full-input waveforms, plus
+// the abstract's throughput multiple between 1,024 and 50,000.
+type HeadlineResult struct {
+	Waveforms      int
+	FDWHours       float64
+	BaselineHours  float64
+	DecreasePct    float64 // the paper reports 56.8%
+	JPMAt1024      float64
+	JPMAt50000     float64
+	ThroughputGain float64 // the paper reports ≈5×
+}
+
+// Headline reruns the headline measurements.
+func Headline(opt Options) (*HeadlineResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	w := opt.out()
+	n1024 := opt.scaleN(1024)
+	n50000 := opt.scaleN(50000)
+
+	run := func(q int) (float64, float64, error) {
+		var rts, jpms []float64
+		for _, seed := range opt.Seeds {
+			cfg := core.DefaultConfig()
+			cfg.Name = fmt.Sprintf("headline-%d", q)
+			cfg.Waveforms = q
+			cfg.Seed = seed
+			rt, jpm, _, err := runOne(opt, cfg, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			rts = append(rts, rt)
+			jpms = append(jpms, jpm)
+		}
+		return stats.Mean(rts), stats.Mean(jpms), nil
+	}
+
+	fdwH, jpmSmall, err := run(n1024)
+	if err != nil {
+		return nil, fmt.Errorf("headline FDW run: %w", err)
+	}
+	_, jpmBig, err := run(n50000)
+	if err != nil {
+		return nil, fmt.Errorf("headline 50k run: %w", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Waveforms = n1024
+	bl, err := baseline.Run(baseline.AWSInstance(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HeadlineResult{
+		Waveforms:     n1024,
+		FDWHours:      fdwH,
+		BaselineHours: bl.TotalHours(),
+		DecreasePct:   stats.PctDecrease(bl.TotalHours(), fdwH),
+		JPMAt1024:     jpmSmall,
+		JPMAt50000:    jpmBig,
+	}
+	if jpmSmall > 0 {
+		res.ThroughputGain = jpmBig / jpmSmall
+	}
+	fmt.Fprintf(w, "Headline — %d full-input waveforms: FDW %.2f h vs single machine %.2f h → %.1f%% decrease (paper: 56.8%%)\n",
+		res.Waveforms, res.FDWHours, res.BaselineHours, res.DecreasePct)
+	fmt.Fprintf(w, "Throughput gain %d→%d waveforms: %.2f× (paper: ≈5×)\n",
+		n1024, n50000, res.ThroughputGain)
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package fakequakes
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fdw/internal/mseed"
+	"fdw/internal/sim"
+)
+
+// Waveform is the 3-component GNSS displacement time series at one
+// station for one rupture — the final FakeQuakes product (Phase C).
+type Waveform struct {
+	RuptureID string
+	Station   string
+	Dt        float64
+	// ENZ[c][t]: east/north/up displacement (m).
+	ENZ [3][]float64
+}
+
+// PGD returns the peak ground displacement (m): the maximum 3-D
+// displacement amplitude, the key EEW magnitude proxy (Ruhl et al. 2017).
+func (w *Waveform) PGD() float64 {
+	var peak float64
+	for t := range w.ENZ[0] {
+		e, n, z := w.ENZ[0][t], w.ENZ[1][t], w.ENZ[2][t]
+		if a := math.Sqrt(e*e + n*n + z*z); a > peak {
+			peak = a
+		}
+	}
+	return peak
+}
+
+// NoiseConfig models GNSS position noise (cf. Melgar et al. 2020):
+// white noise plus a random-walk component.
+type NoiseConfig struct {
+	WhiteSigmaM float64 // per-sample white noise, meters
+	WalkSigmaM  float64 // random-walk step, meters/sqrt(sample)
+}
+
+// DefaultNoise reflects operational real-time GNSS precision:
+// ~5 mm white, small random walk.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{WhiteSigmaM: 0.005, WalkSigmaM: 0.0005}
+}
+
+// SynthesizeWaveforms convolves a rupture's slip distribution with the
+// Green's functions: for each station/component, sum over patch
+// subfaults of slip × kernel delayed by the rupture-front onset and
+// smeared over the local rise time. Optional noise is added per sample.
+func SynthesizeWaveforms(r *Rupture, g *GreensFunctions, noise NoiseConfig, rng *sim.RNG) ([]Waveform, error) {
+	if r == nil || g == nil {
+		return nil, fmt.Errorf("fakequakes: nil rupture or Green's functions")
+	}
+	if len(r.Patch) != len(r.SlipM) || len(r.Patch) != len(r.OnsetS) || len(r.Patch) != len(r.RiseS) {
+		return nil, fmt.Errorf("fakequakes: inconsistent rupture arrays")
+	}
+	nT := g.Cfg.Nsamples
+	dt := g.Cfg.Dt
+	out := make([]Waveform, len(g.Stations))
+	// Stations are independent; split the RNG per station *before*
+	// spawning so results are deterministic regardless of scheduling,
+	// then fan out across the cores.
+	rngs := make([]*sim.RNG, len(g.Stations))
+	for s := range rngs {
+		rngs[s] = rng.Split(uint64(s) + 0x9e37)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var firstErr error
+	var errOnce sync.Once
+	for s := range g.Stations {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer func() { <-sem; wg.Done() }()
+			if err := synthesizeStation(r, g, noise, rngs[s], nT, dt, s, out); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// synthesizeStation builds one station's waveform into out[s].
+func synthesizeStation(r *Rupture, g *GreensFunctions, noise NoiseConfig, rng *sim.RNG, nT int, dt float64, s int, out []Waveform) error {
+	{
+		st := g.Stations[s]
+		w := Waveform{RuptureID: r.ID, Station: st.Name, Dt: dt}
+		for c := 0; c < 3; c++ {
+			w.ENZ[c] = make([]float64, nT)
+		}
+		for k, idx := range r.Patch {
+			if idx < 0 || idx >= g.NSub {
+				return fmt.Errorf("fakequakes: rupture references subfault %d outside GF set of %d", idx, g.NSub)
+			}
+			slip := r.SlipM[k]
+			if slip == 0 {
+				continue
+			}
+			delay := int(r.OnsetS[k] / dt)
+			// Smear over the rise time: distribute slip across nRise lags.
+			nRise := int(r.RiseS[k]/dt) + 1
+			frac := slip / float64(nRise)
+			for c := 0; c < 3; c++ {
+				kern := g.Kernel[s][idx][c]
+				dst := w.ENZ[c]
+				for lag := 0; lag < nRise; lag++ {
+					off := delay + lag
+					if off >= nT {
+						break
+					}
+					// dst[off:] += frac * kern[:nT-off]
+					for t := 0; t < nT-off; t++ {
+						dst[off+t] += frac * kern[t]
+					}
+				}
+			}
+		}
+		if noise.WhiteSigmaM > 0 || noise.WalkSigmaM > 0 {
+			for c := 0; c < 3; c++ {
+				walk := 0.0
+				for t := range w.ENZ[c] {
+					if noise.WalkSigmaM > 0 {
+						walk += rng.Normal(0, noise.WalkSigmaM)
+					}
+					w.ENZ[c][t] += walk + rng.Normal(0, noise.WhiteSigmaM)
+				}
+			}
+		}
+		out[s] = w
+	}
+	return nil
+}
+
+// ToRecords converts a waveform to mseed records.
+func (w *Waveform) ToRecords() []mseed.Record {
+	recs := make([]mseed.Record, 3)
+	for c, ch := range Components {
+		recs[c] = mseed.Record{
+			Network: "CL",
+			Station: w.Station,
+			Channel: ch,
+			Start:   0,
+			Dt:      w.Dt,
+			Samples: w.ENZ[c],
+		}
+	}
+	return recs
+}

@@ -1,0 +1,495 @@
+package htcondor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fdw/internal/classad"
+	"fdw/internal/sim"
+)
+
+const sampleSubmit = `
+# FDW phase C submit file
+universe       = vanilla
+executable     = run_waveforms.sh
+arguments      = --proc $(Process) --cluster $(Cluster)
+request_cpus   = 4
+request_memory = 8GB
+request_disk   = 16384
+requirements   = (TARGET.HasSingularity == true)
++FDWPhase        = "C"
++FDWExecSeconds  = 1050
++FDWInputBytes   = 973000000
++FDWOutputBytes  = 52000000
+queue 3
+`
+
+func TestParseSubmit(t *testing.T) {
+	sf, err := ParseSubmit(strings.NewReader(sampleSubmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.QueueN != 3 {
+		t.Fatalf("QueueN = %d, want 3", sf.QueueN)
+	}
+	if sf.Commands["executable"] != "run_waveforms.sh" {
+		t.Fatalf("executable = %q", sf.Commands["executable"])
+	}
+	if sf.Plus["FDWPhase"] != `"C"` {
+		t.Fatalf("+FDWPhase = %q", sf.Plus["FDWPhase"])
+	}
+}
+
+func TestParseSubmitErrors(t *testing.T) {
+	cases := map[string]string{
+		"no queue":        "executable = x\n",
+		"double queue":    "executable = x\nqueue\nqueue\n",
+		"bad queue count": "executable = x\nqueue -2\n",
+		"no equals":       "executable x\nqueue\n",
+		"empty key":       " = x\nqueue\n",
+		"dangling cont":   "executable = x \\\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseSubmit(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSubmitBareQueueAndContinuation(t *testing.T) {
+	src := "executable = a.sh\narguments = one \\\n two\nqueue\n"
+	sf, err := ParseSubmit(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.QueueN != 1 {
+		t.Fatalf("QueueN = %d", sf.QueueN)
+	}
+	if !strings.Contains(sf.Commands["arguments"], "two") {
+		t.Fatalf("continuation lost: %q", sf.Commands["arguments"])
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	sf, err := ParseSubmit(strings.NewReader(sampleSubmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := sf.Materialize(42, "fdw-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs, want 3", len(jobs))
+	}
+	j := jobs[1]
+	if j.Cluster != 42 || j.Proc != 1 {
+		t.Fatalf("id %s", j.ID())
+	}
+	if j.Arguments != "--proc 1 --cluster 42" {
+		t.Fatalf("macros not expanded: %q", j.Arguments)
+	}
+	if j.RequestCpus != 4 || j.RequestMemoryMB != 8192 || j.RequestDiskMB != 16384 {
+		t.Fatalf("requests: cpus=%d mem=%d disk=%d", j.RequestCpus, j.RequestMemoryMB, j.RequestDiskMB)
+	}
+	if j.BaseExecSeconds != 1050 {
+		t.Fatalf("BaseExecSeconds = %v", j.BaseExecSeconds)
+	}
+	if j.InputBytes != 973000000 || j.OutputBytes != 52000000 {
+		t.Fatalf("transfer sizes: %d %d", j.InputBytes, j.OutputBytes)
+	}
+	if v, ok := j.Attrs.Lookup("FDWPhase"); !ok {
+		t.Fatal("FDWPhase attr missing")
+	} else if s, _ := v.AsString(); s != "C" {
+		t.Fatalf("FDWPhase = %v", v)
+	}
+}
+
+func TestParseSizeMB(t *testing.T) {
+	cases := map[string]int{
+		"2048": 2048, "2GB": 2048, "2 GB": 2048, "1024KB": 1,
+		"512MB": 512, "1G": 1024, "3M": 3,
+	}
+	for in, want := range cases {
+		got, err := parseSizeMB(in)
+		if err != nil {
+			t.Fatalf("parseSizeMB(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("parseSizeMB(%q) = %d, want %d", in, got, want)
+		}
+	}
+	if _, err := parseSizeMB("lots"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestJobMatches(t *testing.T) {
+	j := &Job{
+		RequestCpus:     4,
+		RequestMemoryMB: 8192,
+		Requirements:    "(TARGET.HasSingularity == true)",
+		Attrs:           classad.Ad{},
+	}
+	good := classad.Ad{"Cpus": classad.Number(8), "Memory": classad.Number(16384), "HasSingularity": classad.Bool(true)}
+	ok, err := j.Matches(good)
+	if err != nil || !ok {
+		t.Fatalf("good machine rejected: %v %v", ok, err)
+	}
+	small := classad.Ad{"Cpus": classad.Number(2), "Memory": classad.Number(16384), "HasSingularity": classad.Bool(true)}
+	if ok, _ := j.Matches(small); ok {
+		t.Fatal("undersized machine accepted")
+	}
+	noSing := classad.Ad{"Cpus": classad.Number(8), "Memory": classad.Number(16384)}
+	if ok, _ := j.Matches(noSing); ok {
+		t.Fatal("machine without singularity accepted")
+	}
+	j2 := &Job{Requirements: ""}
+	if ok, _ := j2.Matches(classad.Ad{}); !ok {
+		t.Fatal("empty requirements should match")
+	}
+}
+
+func TestScheddLifecycle(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("submit.osg.test", k, nil)
+	jobs := []*Job{{Owner: "u"}, {Owner: "u"}}
+	cl, err := s.Submit(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != 1 {
+		t.Fatalf("cluster = %d", cl)
+	}
+	if s.QueueDepth() != 2 {
+		t.Fatalf("queue depth %d", s.QueueDepth())
+	}
+	k.At(10, func() {
+		if err := s.MarkRunning(jobs[0], "site-A"); err != nil {
+			t.Error(err)
+		}
+	})
+	k.At(100, func() {
+		if err := s.MarkCompleted(jobs[0], 0); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if jobs[0].Status != Completed {
+		t.Fatalf("status %v", jobs[0].Status)
+	}
+	if jobs[0].WaitSeconds() != 10 || jobs[0].ExecSeconds() != 90 {
+		t.Fatalf("wait %v exec %v", jobs[0].WaitSeconds(), jobs[0].ExecSeconds())
+	}
+	if s.Completed() != 1 || s.Done() {
+		t.Fatalf("completed %d done %v", s.Completed(), s.Done())
+	}
+	if s.RunningCount() != 0 {
+		t.Fatalf("running %d", s.RunningCount())
+	}
+}
+
+func TestScheddEvictionRequeues(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning(j, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkEvicted(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != Idle || j.Evictions != 1 {
+		t.Fatalf("status %v evictions %d", j.Status, j.Evictions)
+	}
+	if s.QueueDepth() != 1 {
+		t.Fatal("evicted job not requeued")
+	}
+}
+
+func TestScheddRemove(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != Removed || s.QueueDepth() != 0 {
+		t.Fatal("remove failed")
+	}
+	if !s.Done() {
+		t.Fatal("schedd with all jobs removed should be done")
+	}
+	if err := s.Remove(j); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestScheddInvalidTransitions(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkCompleted(j, 0); err == nil {
+		t.Fatal("completed an idle job")
+	}
+	if err := s.MarkEvicted(j); err == nil {
+		t.Fatal("evicted an idle job")
+	}
+	if err := s.MarkRunning(j, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning(j, "h"); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := s.Remove(j); err == nil {
+		t.Fatal("removed a running job without eviction")
+	}
+	if _, err := s.Submit(nil); err == nil {
+		t.Fatal("empty submit accepted")
+	}
+}
+
+func TestMaxIdleSubmitThrottle(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	s.MaxIdleSubmit = 2
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, &Job{Owner: "u"})
+	}
+	if _, err := s.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.IdleJobs()); got != 2 {
+		t.Fatalf("IdleJobs exposed %d, want 2", got)
+	}
+}
+
+func TestListenerNotification(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	var seen []EventType
+	s.Subscribe(func(j *Job, ev EventType) { seen = append(seen, ev) })
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning(j, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkCompleted(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []EventType{EventSubmit, EventExecute, EventTerminated}
+	if len(seen) != len(want) {
+		t.Fatalf("events %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("events %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestUserLogFormatParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewUserLog(&buf)
+	events := []JobEvent{
+		{Type: EventSubmit, Cluster: 12, Proc: 0, At: 0, Host: "submit.node"},
+		{Type: EventExecute, Cluster: 12, Proc: 0, At: 63, Host: "exec-17.pool"},
+		{Type: EventTerminated, Cluster: 12, Proc: 0, At: 213},
+		{Type: EventEvicted, Cluster: 12, Proc: 1, At: 99},
+		{Type: EventAborted, Cluster: 13, Proc: 0, At: 150},
+		{Type: EventHeld, Cluster: 13, Proc: 1, At: 151},
+		{Type: EventReleased, Cluster: 13, Proc: 1, At: 152},
+	}
+	for _, ev := range events {
+		if err := log.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ParseUserLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(events))
+	}
+	for i, ev := range events {
+		g := got[i]
+		if g.Type != ev.Type || g.Cluster != ev.Cluster || g.Proc != ev.Proc || g.At != ev.At {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, ev)
+		}
+	}
+	if got[1].Host != "exec-17.pool" {
+		t.Fatalf("host = %q", got[1].Host)
+	}
+}
+
+func TestParseUserLogRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"garbage line\n",
+		"00x (0001.000.000) 2023-11-12 00:00:00 Job submitted\n",
+		"000 bad-id 2023-11-12 00:00:00 Job submitted\n",
+		"000 (0001.000.000) not-a-date also-bad Job submitted\n",
+	} {
+		if _, err := ParseUserLog(strings.NewReader(src)); err == nil {
+			t.Fatalf("garbage accepted: %q", src)
+		}
+	}
+}
+
+func TestReduceJobTimes(t *testing.T) {
+	events := []JobEvent{
+		{Type: EventSubmit, Cluster: 1, Proc: 0, At: 0},
+		{Type: EventExecute, Cluster: 1, Proc: 0, At: 100},
+		{Type: EventTerminated, Cluster: 1, Proc: 0, At: 400},
+		{Type: EventSubmit, Cluster: 1, Proc: 1, At: 0},
+		{Type: EventExecute, Cluster: 1, Proc: 1, At: 50},
+		{Type: EventEvicted, Cluster: 1, Proc: 1, At: 80},
+		{Type: EventExecute, Cluster: 1, Proc: 1, At: 200},
+		{Type: EventTerminated, Cluster: 1, Proc: 1, At: 500},
+	}
+	rows := ReduceJobTimes(events)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].WaitSecs != 100 || rows[0].ExecSecs != 300 {
+		t.Fatalf("row0 wait %v exec %v", rows[0].WaitSecs, rows[0].ExecSecs)
+	}
+	// The evicted job's wait is measured to its final start.
+	if rows[1].WaitSecs != 200 || rows[1].ExecSecs != 300 || rows[1].Evictions != 1 {
+		t.Fatalf("row1 %+v", rows[1])
+	}
+}
+
+func TestScheddWritesParsableLog(t *testing.T) {
+	var buf bytes.Buffer
+	k := sim.NewKernel(1)
+	s := NewSchedd("submit.host", k, NewUserLog(&buf))
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	k.At(30, func() {
+		if err := s.MarkRunning(j, "glidein-3.site"); err != nil {
+			t.Error(err)
+		}
+	})
+	k.At(330, func() {
+		if err := s.MarkCompleted(j, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	events, err := ParseUserLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ReduceJobTimes(events)
+	if len(rows) != 1 || rows[0].WaitSecs != 30 || rows[0].ExecSecs != 300 {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestJobStatusString(t *testing.T) {
+	if Idle.String() != "idle" || Running.String() != "running" ||
+		Completed.String() != "completed" || Removed.String() != "removed" ||
+		Held.String() != "held" {
+		t.Fatal("status names wrong")
+	}
+	if JobStatus(42).String() == "" {
+		t.Fatal("unknown status should format")
+	}
+}
+
+func TestPropertyMaterializeCount(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 50)
+		sf := &SubmitFile{
+			Commands: map[string]string{"executable": "x.sh"},
+			Plus:     map[string]string{},
+			QueueN:   n,
+		}
+		jobs, err := sf.Materialize(1, "u")
+		if err != nil {
+			return false
+		}
+		if len(jobs) != n {
+			return false
+		}
+		for i, j := range jobs {
+			if j.Proc != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitFileWriteRoundTrip(t *testing.T) {
+	sf, err := ParseSubmit(strings.NewReader(sampleSubmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sf2, err := ParseSubmit(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if sf2.QueueN != sf.QueueN {
+		t.Fatal("queue count changed")
+	}
+	if sf2.Commands["request_cpus"] != sf.Commands["request_cpus"] {
+		t.Fatal("commands changed")
+	}
+	if sf2.Plus["FDWPhase"] != sf.Plus["FDWPhase"] {
+		t.Fatal("plus attributes changed")
+	}
+}
+
+func TestQueueSnapshot(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("snap", k, nil)
+	s.MaxIdleSubmit = 2
+	jobs := []*Job{{Owner: "u"}, {Owner: "u"}, {Owner: "u"}, {Owner: "u"}}
+	if _, err := s.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning(jobs[0], "h"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	// 4 accepted: 1 running, 2 idle (throttle released one more after the
+	// running slot freed an idle position), 1 staged.
+	if snap.Running != 1 {
+		t.Fatalf("running %d", snap.Running)
+	}
+	if snap.Idle+snap.Staged+snap.Running != 4 {
+		t.Fatalf("snapshot loses jobs: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := snap.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Schedd: snap") {
+		t.Fatalf("printout %q", buf.String())
+	}
+}

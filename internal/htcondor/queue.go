@@ -1,0 +1,47 @@
+package htcondor
+
+import (
+	"fmt"
+	"io"
+)
+
+// QueueSnapshot is a condor_q-style summary of a schedd's queue.
+type QueueSnapshot struct {
+	Schedd    string
+	Staged    int // accepted by DAGMan, not yet submitted
+	Idle      int
+	Running   int
+	Completed int
+	Removed   int
+	Held      int
+	Total     int
+}
+
+// Snapshot summarizes the schedd's queue state.
+func (s *Schedd) Snapshot() QueueSnapshot {
+	snap := QueueSnapshot{
+		Schedd:    s.Name,
+		Staged:    len(s.staged),
+		Idle:      len(s.idle),
+		Completed: s.completed,
+		Removed:   s.removed,
+		Total:     len(s.all),
+	}
+	for _, j := range s.all {
+		switch j.Status {
+		case Running:
+			snap.Running++
+		case Held:
+			snap.Held++
+		}
+	}
+	return snap
+}
+
+// Print renders the snapshot condor_q style.
+func (q QueueSnapshot) Print(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"-- Schedd: %s\nTotal for query: %d jobs; %d completed, %d removed, %d idle, %d running, %d held, %d staged\n",
+		q.Schedd, q.Total, q.Completed, q.Removed, q.Idle, q.Running, q.Held, q.Staged)
+	return err
+}

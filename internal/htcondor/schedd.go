@@ -1,0 +1,228 @@
+package htcondor
+
+import (
+	"fmt"
+
+	"fdw/internal/sim"
+)
+
+// Listener observes job state transitions (DAGMan subscribes to learn
+// when its node jobs finish).
+type Listener func(j *Job, ev EventType)
+
+// Schedd is the submit-side job queue: it accepts jobs, hands idle jobs
+// to a negotiator, and records lifecycle events in the user log.
+type Schedd struct {
+	Name string
+
+	kernel      *sim.Kernel
+	log         *UserLog
+	nextCluster int
+	staged      []*Job // accepted but not yet submitted to the queue
+	idle        []*Job
+	all         []*Job
+	listeners   []Listener
+
+	// MaxIdleSubmit is DAGMan's submission throttle
+	// (DAGMAN_MAX_JOBS_IDLE): jobs beyond this many idle stay *staged* —
+	// accepted by DAGMan but not yet submitted to the queue (no 000
+	// event) — and are released as idle jobs drain. The paper's bursting
+	// policies act on exactly these "unsubmitted" jobs. 0 = unlimited.
+	MaxIdleSubmit int
+
+	completed int
+	removed   int
+}
+
+// NewSchedd returns a schedd writing events to log (log may be nil).
+func NewSchedd(name string, k *sim.Kernel, log *UserLog) *Schedd {
+	if log == nil {
+		log = NewUserLog(nil)
+	}
+	return &Schedd{Name: name, kernel: k, log: log, nextCluster: 1}
+}
+
+// Log exposes the schedd's user log.
+func (s *Schedd) Log() *UserLog { return s.log }
+
+// Subscribe registers a listener for job state transitions.
+func (s *Schedd) Subscribe(fn Listener) { s.listeners = append(s.listeners, fn) }
+
+func (s *Schedd) notify(j *Job, ev EventType) {
+	for _, fn := range s.listeners {
+		fn(j, ev)
+	}
+}
+
+// Submit accepts jobs under a fresh cluster id. Jobs enter the queue
+// (000 event, SubmitTime stamped) immediately up to the MaxIdleSubmit
+// throttle; the rest stay staged and are released as the queue drains.
+// It returns the cluster id.
+func (s *Schedd) Submit(jobs []*Job) (int, error) {
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("htcondor: empty submission")
+	}
+	cluster := s.nextCluster
+	s.nextCluster++
+	for i, j := range jobs {
+		if j.Status != Idle && j.Status != 0 {
+			return 0, fmt.Errorf("htcondor: job %d submitted in state %v", i, j.Status)
+		}
+		j.Cluster = cluster
+		j.Proc = i
+		j.Status = Idle
+		s.staged = append(s.staged, j)
+		s.all = append(s.all, j)
+	}
+	s.pump()
+	return cluster, nil
+}
+
+// pump releases staged jobs into the idle queue while the throttle
+// allows, writing their 000 events with the release time.
+func (s *Schedd) pump() {
+	for len(s.staged) > 0 && (s.MaxIdleSubmit <= 0 || len(s.idle) < s.MaxIdleSubmit) {
+		j := s.staged[0]
+		s.staged = s.staged[1:]
+		j.SubmitTime = s.kernel.Now()
+		s.idle = append(s.idle, j)
+		s.appendEvent(j, EventSubmit, s.Name)
+		s.notify(j, EventSubmit)
+	}
+}
+
+// StagedCount returns jobs accepted but not yet submitted — the
+// "unsubmitted" jobs the paper's bursting policies 1 and 3 offload.
+func (s *Schedd) StagedCount() int { return len(s.staged) }
+
+// PopStaged removes and returns the last staged job, or nil if none
+// (used by the bursting simulator to offload unsubmitted work).
+func (s *Schedd) PopStaged() *Job {
+	if len(s.staged) == 0 {
+		return nil
+	}
+	j := s.staged[len(s.staged)-1]
+	s.staged = s.staged[:len(s.staged)-1]
+	j.Status = Removed
+	s.removed++
+	return j
+}
+
+func (s *Schedd) appendEvent(j *Job, t EventType, host string) {
+	_ = s.log.Append(JobEvent{
+		Type:    t,
+		Cluster: j.Cluster,
+		Proc:    j.Proc,
+		At:      s.kernel.Now(),
+		Host:    host,
+	})
+}
+
+// IdleJobs returns the queued (submitted, idle) jobs in FIFO order.
+func (s *Schedd) IdleJobs() []*Job { return s.idle }
+
+// QueueDepth returns the number of idle jobs.
+func (s *Schedd) QueueDepth() int { return len(s.idle) }
+
+// RunningCount returns the number of currently running jobs.
+func (s *Schedd) RunningCount() int {
+	n := 0
+	for _, j := range s.all {
+		if j.Status == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Completed returns how many jobs have terminated successfully.
+func (s *Schedd) Completed() int { return s.completed }
+
+// AllJobs returns every job ever submitted, in submission order.
+func (s *Schedd) AllJobs() []*Job { return s.all }
+
+// Done reports whether every accepted job has finished (completed or
+// removed) and nothing remains staged.
+func (s *Schedd) Done() bool {
+	return len(s.staged) == 0 && s.completed+s.removed == len(s.all)
+}
+
+func (s *Schedd) dropIdle(j *Job) bool {
+	for i, q := range s.idle {
+		if q == j {
+			s.idle = append(s.idle[:i], s.idle[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// MarkRunning transitions an idle job to running on the named host.
+// The negotiator calls this when a match is claimed.
+func (s *Schedd) MarkRunning(j *Job, host string) error {
+	if j.Status != Idle {
+		return fmt.Errorf("htcondor: MarkRunning on %v job %s", j.Status, j.ID())
+	}
+	if !s.dropIdle(j) {
+		return fmt.Errorf("htcondor: job %s not in idle queue", j.ID())
+	}
+	j.Status = Running
+	j.StartTime = s.kernel.Now()
+	j.Site = host
+	s.appendEvent(j, EventExecute, host)
+	s.notify(j, EventExecute)
+	return nil
+}
+
+// MarkCompleted finalizes a running job.
+func (s *Schedd) MarkCompleted(j *Job, exitCode int) error {
+	if j.Status != Running {
+		return fmt.Errorf("htcondor: MarkCompleted on %v job %s", j.Status, j.ID())
+	}
+	j.Status = Completed
+	j.EndTime = s.kernel.Now()
+	j.ExitCode = exitCode
+	s.completed++
+	s.appendEvent(j, EventTerminated, j.Site)
+	s.pump()
+	s.notify(j, EventTerminated)
+	return nil
+}
+
+// MarkEvicted returns a running job to the idle queue (glidein
+// preemption / shutdown). The job will renegotiate.
+func (s *Schedd) MarkEvicted(j *Job) error {
+	if j.Status != Running {
+		return fmt.Errorf("htcondor: MarkEvicted on %v job %s", j.Status, j.ID())
+	}
+	j.Status = Idle
+	j.Evictions++
+	j.Site = ""
+	s.idle = append(s.idle, j)
+	s.appendEvent(j, EventEvicted, "")
+	s.notify(j, EventEvicted)
+	return nil
+}
+
+// Remove aborts a job (condor_rm): idle jobs leave the queue, running
+// jobs are stopped by the caller first. The bursting simulator's
+// Policy 2 removes long-queued jobs this way before offloading them.
+func (s *Schedd) Remove(j *Job) error {
+	switch j.Status {
+	case Idle:
+		if !s.dropIdle(j) {
+			return fmt.Errorf("htcondor: job %s not in idle queue", j.ID())
+		}
+	case Running:
+		return fmt.Errorf("htcondor: remove running job %s (evict first)", j.ID())
+	case Removed, Completed:
+		return fmt.Errorf("htcondor: remove finished job %s", j.ID())
+	}
+	j.Status = Removed
+	j.EndTime = s.kernel.Now()
+	s.removed++
+	s.appendEvent(j, EventAborted, "")
+	s.pump()
+	s.notify(j, EventAborted)
+	return nil
+}

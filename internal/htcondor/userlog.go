@@ -1,0 +1,218 @@
+package htcondor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"fdw/internal/sim"
+)
+
+// EventType is an HTCondor user-log event code.
+type EventType int
+
+// User-log event codes (HTCondor's numbering).
+const (
+	EventSubmit     EventType = 0  // 000 Job submitted
+	EventExecute    EventType = 1  // 001 Job executing
+	EventEvicted    EventType = 4  // 004 Job evicted
+	EventTerminated EventType = 5  // 005 Job terminated
+	EventAborted    EventType = 9  // 009 Job aborted (removed)
+	EventHeld       EventType = 12 // 012 Job held
+	EventReleased   EventType = 13 // 013 Job released
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventSubmit:
+		return "Job submitted from host"
+	case EventExecute:
+		return "Job executing on host"
+	case EventEvicted:
+		return "Job was evicted"
+	case EventTerminated:
+		return "Job terminated"
+	case EventAborted:
+		return "Job was aborted by the user"
+	case EventHeld:
+		return "Job was held"
+	case EventReleased:
+		return "Job was released"
+	default:
+		return fmt.Sprintf("Event %03d", int(e))
+	}
+}
+
+// logEpoch anchors simulated second 0 to a concrete wall-clock date so
+// that log lines look like real HTCondor logs (the experiments ran
+// around SC23).
+var logEpoch = time.Date(2023, time.November, 12, 0, 0, 0, 0, time.UTC)
+
+// JobEvent is one parsed user-log event.
+type JobEvent struct {
+	Type    EventType
+	Cluster int
+	Proc    int
+	At      sim.Time // seconds since logEpoch
+	Host    string
+}
+
+// UserLog accumulates HTCondor-format event-log text. FDW's monitoring
+// parses this text (the paper: "Shell scripts parse HTCondor log files
+// to extract information (e.g., runtime, wait times, ...)").
+type UserLog struct {
+	w      io.Writer
+	events []JobEvent
+}
+
+// NewUserLog writes formatted events to w (which may be nil to keep
+// events only in memory).
+func NewUserLog(w io.Writer) *UserLog { return &UserLog{w: w} }
+
+// Events returns all recorded events in append order.
+func (l *UserLog) Events() []JobEvent { return l.events }
+
+// Append records an event and writes its textual form.
+func (l *UserLog) Append(ev JobEvent) error {
+	l.events = append(l.events, ev)
+	if l.w == nil {
+		return nil
+	}
+	_, err := io.WriteString(l.w, FormatEvent(ev))
+	return err
+}
+
+// FormatEvent renders one event in HTCondor user-log syntax:
+//
+//	005 (1234.000.000) 2023-11-12 03:14:15 Job terminated.
+//	...
+func FormatEvent(ev JobEvent) string {
+	ts := logEpoch.Add(ev.At.Duration()).Format("2006-01-02 15:04:05")
+	head := fmt.Sprintf("%03d (%04d.%03d.000) %s %s", int(ev.Type), ev.Cluster, ev.Proc, ts, ev.Type)
+	switch ev.Type {
+	case EventSubmit, EventExecute:
+		head += fmt.Sprintf(": <%s>", ev.Host)
+	}
+	return head + "\n...\n"
+}
+
+// ParseUserLog parses text produced by FormatEvent (a subset of real
+// HTCondor logs: the "..." separator, the numeric event code, the id
+// triple, and the timestamp).
+func ParseUserLog(r io.Reader) ([]JobEvent, error) {
+	var out []JobEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "..." {
+			continue
+		}
+		ev, err := parseEventLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("htcondor: log line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+func parseEventLine(line string) (JobEvent, error) {
+	var ev JobEvent
+	var cluster, proc, sub int
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return ev, fmt.Errorf("short event line %q", line)
+	}
+	code, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return ev, fmt.Errorf("bad event code %q", fields[0])
+	}
+	if _, err := fmt.Sscanf(fields[1], "(%d.%d.%d)", &cluster, &proc, &sub); err != nil {
+		return ev, fmt.Errorf("bad job id %q", fields[1])
+	}
+	ts, terr := time.Parse("2006-01-02 15:04:05", fields[2]+" "+fields[3])
+	if terr != nil {
+		return ev, fmt.Errorf("bad timestamp %q %q", fields[2], fields[3])
+	}
+	ev.Type = EventType(code)
+	ev.Cluster = cluster
+	ev.Proc = proc
+	ev.At = sim.Time(ts.Sub(logEpoch).Seconds())
+	if i := strings.Index(line, "<"); i >= 0 {
+		if j := strings.Index(line[i:], ">"); j > 0 {
+			ev.Host = line[i+1 : i+j]
+		}
+	}
+	return ev, nil
+}
+
+// JobTimes aggregates per-job submit/start/end times out of a parsed
+// event stream — the exact reduction FDW's monitoring performs.
+type JobTimes struct {
+	Cluster, Proc       int
+	Submit, Start, End  sim.Time
+	HasStart, HasEnd    bool
+	Evictions, Releases int
+	Aborted, EverHeld   bool
+	LastHost            string
+	ExecSecs, WaitSecs  float64
+}
+
+// ReduceJobTimes folds events into per-job timing rows, ordered by
+// first appearance.
+func ReduceJobTimes(events []JobEvent) []*JobTimes {
+	index := map[[2]int]*JobTimes{}
+	var order []*JobTimes
+	get := func(c, p int) *JobTimes {
+		k := [2]int{c, p}
+		if jt, ok := index[k]; ok {
+			return jt
+		}
+		jt := &JobTimes{Cluster: c, Proc: p}
+		index[k] = jt
+		order = append(order, jt)
+		return jt
+	}
+	for _, ev := range events {
+		jt := get(ev.Cluster, ev.Proc)
+		switch ev.Type {
+		case EventSubmit:
+			jt.Submit = ev.At
+		case EventExecute:
+			// The final execute event wins (after evictions the job
+			// restarts; wait time is measured to the last start, which is
+			// also how the paper's scripts treat re-runs).
+			jt.Start = ev.At
+			jt.HasStart = true
+			jt.LastHost = ev.Host
+		case EventEvicted:
+			jt.Evictions++
+			jt.HasStart = false
+		case EventTerminated:
+			jt.End = ev.At
+			jt.HasEnd = true
+		case EventAborted:
+			jt.Aborted = true
+			jt.End = ev.At
+		case EventHeld:
+			jt.EverHeld = true
+		case EventReleased:
+			jt.Releases++
+		}
+	}
+	for _, jt := range order {
+		if jt.HasStart && jt.HasEnd {
+			jt.ExecSecs = float64(jt.End - jt.Start)
+		}
+		if jt.HasStart {
+			jt.WaitSecs = float64(jt.Start - jt.Submit)
+		}
+	}
+	return order
+}

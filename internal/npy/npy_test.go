@@ -1,0 +1,165 @@
+package npy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fdw/internal/linalg"
+	"fdw/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m, _ := linalg.FromRows([][]float64{{1.5, -2.25, 0}, {math.Pi, 1e-300, 1e300}})
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("shape %dx%d, want 2x3", got.Rows, got.Cols)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestHeaderIs64ByteAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, linalg.NewMatrix(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	hlen := int(binary.LittleEndian.Uint16(b[8:10]))
+	if (10+hlen)%64 != 0 {
+		t.Fatalf("header end at %d not 64-aligned", 10+hlen)
+	}
+	if b[10+hlen-1] != '\n' {
+		t.Fatal("header not newline-terminated")
+	}
+}
+
+func TestMagicValidation(t *testing.T) {
+	if _, err := Read(strings.NewReader("not an npy file at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRejectsUnsupportedDtype(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, linalg.NewMatrix(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := bytes.Replace(buf.Bytes(), []byte("'<f8'"), []byte("'<f4'"), 1)
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("unsupported dtype accepted")
+	}
+}
+
+func TestRejectsFortranOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, linalg.NewMatrix(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := bytes.Replace(buf.Bytes(), []byte("False"), []byte("True "), 1)
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("fortran order accepted")
+	}
+}
+
+func TestTruncatedDataRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, linalg.NewMatrix(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-8])); err == nil {
+		t.Fatal("truncated data accepted")
+	}
+}
+
+func TestParseHeader1D(t *testing.T) {
+	rows, cols, err := parseHeader("{'descr': '<f8', 'fortran_order': False, 'shape': (7,), }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 || cols != 7 {
+		t.Fatalf("1-D shape parsed as %dx%d", rows, cols)
+	}
+}
+
+func TestParseHeader3DRejected(t *testing.T) {
+	if _, _, err := parseHeader("{'descr': '<f8', 'fortran_order': False, 'shape': (2, 2, 2), }"); err == nil {
+		t.Fatal("3-D shape accepted")
+	}
+}
+
+func TestParseHeaderMalformed(t *testing.T) {
+	for _, h := range []string{
+		"{'descr': '<f8', 'fortran_order': False}",
+		"{'descr': '<f8', 'fortran_order': False, 'shape': )(, }",
+		"{'descr': '<f8', 'fortran_order': False, 'shape': (x, 2), }",
+	} {
+		if _, _, err := parseHeader(h); err == nil {
+			t.Fatalf("malformed header accepted: %q", h)
+		}
+	}
+}
+
+func TestPropertyRoundTripArbitraryMatrices(t *testing.T) {
+	rng := sim.NewRNG(4)
+	f := func(seed uint64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw%20) + 1
+		cols := int(cRaw%20) + 1
+		r := rng.Split(seed)
+		m := linalg.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.Normal(0, 1e6)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Rows != rows || got.Cols != cols {
+			return false
+		}
+		for i := range m.Data {
+			if got.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, linalg.NewMatrix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 0 || got.Cols != 0 {
+		t.Fatalf("empty matrix round-tripped as %dx%d", got.Rows, got.Cols)
+	}
+}

@@ -1,0 +1,562 @@
+// Package ospool models the Open Science Pool: an opportunistic,
+// glidein-based HTC pool shared by many submitters. The model captures
+// the dynamics the paper's experiments hinge on — gradual glidein
+// ramp-up, fluctuating opportunistic capacity, pilot lifetimes and
+// preemption, a periodic fair-share negotiation cycle with a bounded
+// match rate, and Stash-cache input delivery — so that throughput
+// scaling, wait-time growth under concurrent DAGMans, and erratic
+// running-job footprints emerge rather than being scripted.
+package ospool
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fdw/internal/classad"
+	"fdw/internal/htcondor"
+	"fdw/internal/sim"
+	"fdw/internal/stash"
+)
+
+// SiteConfig describes one contributing site.
+type SiteConfig struct {
+	Name     string
+	MaxSlots int     // peak concurrent glideins this site can host
+	Speed    float64 // mean execution-time multiplier (1.0 = reference)
+	SpeedSD  float64 // per-glidein speed variation
+	CpusPer  int     // cores per slot
+	MemoryMB int     // memory per slot
+}
+
+// Config parameterizes the pool.
+type Config struct {
+	Sites []SiteConfig
+
+	NegotiationInterval sim.Time // negotiator cycle period
+	ProvisionInterval   sim.Time // glidein factory period
+	MatchesPerCycle     int      // claim limit per negotiation cycle
+
+	GlideinRampMean     sim.Time // mean pilot provisioning delay
+	GlideinLifetimeMean sim.Time // mean pilot lifetime
+	GlideinIdleTimeout  sim.Time // idle pilots retire after this long
+
+	// Opportunistic availability fluctuates between AvailabilityMin and
+	// 1.0 with the given period (other users' demand ebbs and flows).
+	AvailabilityPeriod sim.Time
+	AvailabilityMin    float64
+
+	// ExecJitterSigma is the lognormal sigma applied to execution times.
+	ExecJitterSigma float64
+
+	// FailureProb is the per-execution probability that a job exits
+	// non-zero (node black holes, transfer failures): fault injection
+	// for DAGMan's RETRY machinery. Zero disables failures.
+	FailureProb float64
+}
+
+// DefaultConfig yields an OSPool-scale setup calibrated for the paper's
+// experiments: several hundred reachable slots at peak, minutes-scale
+// glidein ramp, hours-scale pilot lifetimes, a 30-second negotiator.
+func DefaultConfig() Config {
+	sites := []SiteConfig{
+		{Name: "uchicago", MaxSlots: 130, Speed: 1.00, SpeedSD: 0.08, CpusPer: 4, MemoryMB: 16384},
+		{Name: "sdsc", MaxSlots: 90, Speed: 0.92, SpeedSD: 0.10, CpusPer: 4, MemoryMB: 16384},
+		{Name: "unl", MaxSlots: 70, Speed: 1.05, SpeedSD: 0.10, CpusPer: 4, MemoryMB: 16384},
+		{Name: "syracuse", MaxSlots: 60, Speed: 1.12, SpeedSD: 0.12, CpusPer: 4, MemoryMB: 16384},
+		{Name: "ucsd", MaxSlots: 50, Speed: 0.95, SpeedSD: 0.08, CpusPer: 4, MemoryMB: 16384},
+		{Name: "wisc", MaxSlots: 60, Speed: 1.00, SpeedSD: 0.10, CpusPer: 4, MemoryMB: 16384},
+	}
+	return Config{
+		Sites:               sites,
+		NegotiationInterval: 30,
+		ProvisionInterval:   60,
+		MatchesPerCycle:     120,
+		GlideinRampMean:     420,
+		GlideinLifetimeMean: 6 * 3600,
+		GlideinIdleTimeout:  900,
+		AvailabilityPeriod:  4 * 3600,
+		AvailabilityMin:     0.45,
+		ExecJitterSigma:     0.18,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("ospool: no sites")
+	}
+	for _, s := range c.Sites {
+		if s.MaxSlots <= 0 || s.Speed <= 0 {
+			return fmt.Errorf("ospool: site %q has invalid slots/speed", s.Name)
+		}
+	}
+	if c.NegotiationInterval <= 0 || c.ProvisionInterval <= 0 {
+		return fmt.Errorf("ospool: non-positive intervals")
+	}
+	if c.MatchesPerCycle <= 0 {
+		return fmt.Errorf("ospool: non-positive MatchesPerCycle")
+	}
+	if c.AvailabilityMin <= 0 || c.AvailabilityMin > 1 {
+		return fmt.Errorf("ospool: AvailabilityMin %v outside (0,1]", c.AvailabilityMin)
+	}
+	if c.FailureProb < 0 || c.FailureProb >= 1 {
+		return fmt.Errorf("ospool: FailureProb %v outside [0,1)", c.FailureProb)
+	}
+	return nil
+}
+
+// TotalSlots returns the sum of site capacities.
+func (c Config) TotalSlots() int {
+	n := 0
+	for _, s := range c.Sites {
+		n += s.MaxSlots
+	}
+	return n
+}
+
+type glidein struct {
+	id      int
+	site    *SiteConfig
+	speed   float64
+	ad      classad.Ad
+	job     *htcondor.Job
+	schedd  *htcondor.Schedd
+	expire  sim.Time
+	idleAt  sim.Time
+	retired bool
+	done    *sim.Event // pending completion event for the running job
+}
+
+// Pool is the simulated OSPool.
+type Pool struct {
+	kernel *sim.Kernel
+	rng    *sim.RNG
+	cfg    Config
+	cache  *stash.Cache
+
+	schedds  []*htcondor.Schedd
+	glideins []*glidein
+	pending  int // glideins requested but not yet arrived
+	nextID   int
+	stopped  bool
+
+	phase0 float64 // availability phase offset
+
+	stopFns []func()
+
+	// counters
+	started   int
+	completed int
+	evictions int
+}
+
+// New creates a pool bound to a kernel. cache may be nil (transfers
+// then cost nothing).
+func New(k *sim.Kernel, cfg Config, cache *stash.Cache) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := k.RNG().Split(0x056001)
+	p := &Pool{
+		kernel: k,
+		rng:    rng,
+		cfg:    cfg,
+		cache:  cache,
+		phase0: rng.Uniform(0, 2*math.Pi),
+	}
+	return p, nil
+}
+
+// AddSchedd registers a submitter with the pool.
+func (p *Pool) AddSchedd(s *htcondor.Schedd) { p.schedds = append(p.schedds, s) }
+
+// Start arms the provisioning and negotiation tickers.
+func (p *Pool) Start() {
+	p.stopFns = append(p.stopFns,
+		p.kernel.Ticker(0, p.cfg.ProvisionInterval, func(sim.Time) { p.provision() }),
+		p.kernel.Ticker(p.cfg.NegotiationInterval/2, p.cfg.NegotiationInterval, func(sim.Time) { p.negotiate() }),
+	)
+}
+
+// Stop cancels the pool's tickers; in-flight completion events still run.
+func (p *Pool) Stop() {
+	p.stopped = true
+	for _, fn := range p.stopFns {
+		fn()
+	}
+	p.stopFns = nil
+}
+
+// RunningCount returns the number of busy glideins.
+func (p *Pool) RunningCount() int {
+	n := 0
+	for _, g := range p.glideins {
+		if g.job != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SlotCount returns the number of live glideins (busy + idle).
+func (p *Pool) SlotCount() int { return len(p.glideins) }
+
+// Stats returns cumulative pool counters.
+func (p *Pool) Stats() (started, completed, evictions int) {
+	return p.started, p.completed, p.evictions
+}
+
+// availability is the opportunistic capacity fraction at time t:
+// a smooth cycle (other communities' load) with deterministic jitter.
+func (p *Pool) availability(t sim.Time) float64 {
+	base := (1 + p.cfg.AvailabilityMin) / 2
+	amp := (1 - p.cfg.AvailabilityMin) / 2
+	v := base + amp*math.Sin(2*math.Pi*float64(t)/float64(p.cfg.AvailabilityPeriod)+p.phase0)
+	// Small bounded ripple on top, keyed to the hour so it is reproducible.
+	hour := math.Floor(float64(t) / 900)
+	ripple := 0.08 * math.Sin(hour*2.399963) // golden-angle hop
+	v += ripple
+	return math.Max(p.cfg.AvailabilityMin*0.8, math.Min(1, v))
+}
+
+// demand counts idle jobs the schedds expose this cycle.
+func (p *Pool) demand() int {
+	n := 0
+	for _, s := range p.schedds {
+		n += len(s.IdleJobs())
+	}
+	return n
+}
+
+// provision requests new glideins when demand exceeds live capacity and
+// retires idle pilots that outlived their usefulness.
+func (p *Pool) provision() {
+	if p.stopped {
+		return
+	}
+	now := p.kernel.Now()
+
+	// Retire expired or long-idle pilots.
+	live := p.glideins[:0]
+	for _, g := range p.glideins {
+		switch {
+		case g.job == nil && now >= g.expire:
+			g.retired = true
+		case g.job == nil && p.cfg.GlideinIdleTimeout > 0 && now-g.idleAt > p.cfg.GlideinIdleTimeout:
+			g.retired = true
+		default:
+			live = append(live, g)
+		}
+	}
+	p.glideins = live
+
+	capacity := int(float64(p.cfg.TotalSlots()) * p.availability(now))
+	desired := p.demand()
+	if desired > capacity {
+		desired = capacity
+	}
+	need := desired - len(p.glideins) - p.pending
+	if need <= 0 {
+		return
+	}
+	// Glidein factories respond in batches; cap the burst per cycle.
+	maxBurst := p.cfg.TotalSlots() / 8
+	if maxBurst < 8 {
+		maxBurst = 8
+	}
+	if need > maxBurst {
+		need = maxBurst
+	}
+	for i := 0; i < need; i++ {
+		site := p.pickSite()
+		if site == nil {
+			break
+		}
+		p.pending++
+		delay := sim.Time(p.rng.Exp(float64(p.cfg.GlideinRampMean)))
+		if delay < 30 {
+			delay = 30
+		}
+		p.kernel.After(delay, func() { p.glideinArrives(site) })
+	}
+}
+
+// pickSite chooses a site weighted by its remaining slot headroom.
+func (p *Pool) pickSite() *SiteConfig {
+	used := map[string]int{}
+	for _, g := range p.glideins {
+		used[g.site.Name]++
+	}
+	type cand struct {
+		site *SiteConfig
+		free int
+	}
+	var cands []cand
+	total := 0
+	for i := range p.cfg.Sites {
+		s := &p.cfg.Sites[i]
+		free := s.MaxSlots - used[s.Name]
+		if free > 0 {
+			cands = append(cands, cand{s, free})
+			total += free
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	pick := p.rng.Intn(total)
+	for _, c := range cands {
+		if pick < c.free {
+			return c.site
+		}
+		pick -= c.free
+	}
+	return cands[len(cands)-1].site
+}
+
+func (p *Pool) glideinArrives(site *SiteConfig) {
+	p.pending--
+	if p.stopped {
+		return
+	}
+	now := p.kernel.Now()
+	speed := p.rng.TruncNormal(site.Speed, site.SpeedSD, site.Speed*0.6, site.Speed*1.6)
+	g := &glidein{
+		id:    p.nextID,
+		site:  site,
+		speed: speed,
+		ad: classad.Ad{
+			"Cpus":           classad.Number(float64(site.CpusPer)),
+			"Memory":         classad.Number(float64(site.MemoryMB)),
+			"HasSingularity": classad.Bool(true),
+			"GLIDEIN_Site":   classad.String(site.Name),
+		},
+		expire: now + sim.Time(p.rng.Exp(float64(p.cfg.GlideinLifetimeMean))),
+		idleAt: now,
+	}
+	p.nextID++
+	p.glideins = append(p.glideins, g)
+	// Pilot lifetime: if still running a job at expiry, the job is
+	// preempted (evicted) and returns to the queue.
+	p.kernel.At(g.expire, func() { p.expireGlidein(g) })
+}
+
+func (p *Pool) expireGlidein(g *glidein) {
+	if g.retired {
+		return
+	}
+	g.retired = true
+	if g.job != nil {
+		if g.done != nil {
+			g.done.Cancel()
+		}
+		job, schedd := g.job, g.schedd
+		g.job, g.schedd, g.done = nil, nil, nil
+		p.evictions++
+		_ = schedd.MarkEvicted(job)
+	}
+	for i, o := range p.glideins {
+		if o == g {
+			p.glideins = append(p.glideins[:i], p.glideins[i+1:]...)
+			break
+		}
+	}
+}
+
+// ownerState aggregates fair-share accounting per owner.
+type ownerState struct {
+	owner     string
+	running   int
+	perSchedd [][]*htcondor.Job // idle jobs grouped by schedd
+	queue     []*htcondor.Job   // interleaved merge of perSchedd
+	schedd    map[*htcondor.Job]*htcondor.Schedd
+}
+
+// mergeInterleaved round-robins across the owner's schedds so that
+// concurrent DAGMans under one user progress together instead of
+// draining in schedd order.
+func (os *ownerState) mergeInterleaved() {
+	total := 0
+	for _, q := range os.perSchedd {
+		total += len(q)
+	}
+	os.queue = make([]*htcondor.Job, 0, total)
+	for i := 0; total > 0; i++ {
+		for _, q := range os.perSchedd {
+			if i < len(q) {
+				os.queue = append(os.queue, q[i])
+				total--
+			}
+		}
+	}
+}
+
+// negotiate runs one fair-share matchmaking cycle.
+func (p *Pool) negotiate() {
+	if p.stopped {
+		return
+	}
+	// Build per-owner queues from all schedds.
+	owners := map[string]*ownerState{}
+	var order []string
+	running := map[string]int{}
+	for _, g := range p.glideins {
+		if g.job != nil {
+			running[g.job.Owner]++
+		}
+	}
+	for _, s := range p.schedds {
+		perOwner := map[string][]*htcondor.Job{}
+		for _, j := range s.IdleJobs() {
+			os, ok := owners[j.Owner]
+			if !ok {
+				os = &ownerState{owner: j.Owner, running: running[j.Owner], schedd: map[*htcondor.Job]*htcondor.Schedd{}}
+				owners[j.Owner] = os
+				order = append(order, j.Owner)
+			}
+			perOwner[j.Owner] = append(perOwner[j.Owner], j)
+			os.schedd[j] = s
+		}
+		for owner, jobs := range perOwner {
+			owners[owner].perSchedd = append(owners[owner].perSchedd, jobs)
+		}
+	}
+	if len(owners) == 0 {
+		return
+	}
+	for _, os := range owners {
+		os.mergeInterleaved()
+	}
+	sort.Strings(order) // deterministic iteration
+
+	// Free slot list.
+	var free []*glidein
+	for _, g := range p.glideins {
+		if g.job == nil && !g.retired {
+			free = append(free, g)
+		}
+	}
+	matches := 0
+	// Round-robin across owners ordered by effective usage (fewest
+	// running first) — HTCondor's fair-share in miniature.
+	for matches < p.cfg.MatchesPerCycle && len(free) > 0 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return owners[order[a]].running < owners[order[b]].running
+		})
+		progress := false
+		for _, name := range order {
+			os := owners[name]
+			if len(os.queue) == 0 {
+				continue
+			}
+			if matches >= p.cfg.MatchesPerCycle || len(free) == 0 {
+				break
+			}
+			job := os.queue[0]
+			slot := -1
+			for i, g := range free {
+				ok, err := job.Matches(g.ad)
+				if err == nil && ok {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				// Nothing in the pool matches this job now; skip the
+				// owner's head-of-line job this cycle.
+				os.queue = os.queue[1:]
+				continue
+			}
+			g := free[slot]
+			free = append(free[:slot], free[slot+1:]...)
+			os.queue = os.queue[1:]
+			os.running++
+			p.claim(g, job, os.schedd[job])
+			matches++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// claim starts job on glidein g: input transfer, execution, output.
+func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
+	host := fmt.Sprintf("glidein-%d.%s", g.id, g.site.Name)
+	if err := schedd.MarkRunning(job, host); err != nil {
+		return
+	}
+	g.job = job
+	g.schedd = schedd
+	p.started++
+
+	transferIn := 0.0
+	if p.cache != nil && job.InputBytes > 0 {
+		key := job.InputKey
+		if key == "" {
+			key = fmt.Sprintf("job-%s", job.ID())
+		}
+		transferIn = p.cache.TransferSeconds(g.site.Name, stash.Object{Key: key, Bytes: job.InputBytes})
+	}
+	exec := job.BaseExecSeconds * g.speed
+	if p.cfg.ExecJitterSigma > 0 {
+		exec *= p.rng.LogNormal(0, p.cfg.ExecJitterSigma)
+	}
+	if exec < 1 {
+		exec = 1
+	}
+	transferOut := 0.0
+	if p.cache != nil && job.OutputBytes > 0 {
+		// Outputs always go back to origin storage (never cached).
+		transferOut = 3 + float64(job.OutputBytes)/50e6
+	}
+	exitCode := 0
+	if p.cfg.FailureProb > 0 && p.rng.Bool(p.cfg.FailureProb) {
+		exitCode = 1
+	}
+	total := sim.Time(transferIn + exec + transferOut)
+	g.done = p.kernel.After(total, func() {
+		g.done = nil
+		if g.job != job {
+			return // evicted meanwhile
+		}
+		g.job, g.schedd = nil, nil
+		g.idleAt = p.kernel.Now()
+		if exitCode != 0 && job.Failures < job.MaxRetries {
+			// Job-level retry (max_retries): the failed attempt
+			// re-queues instead of terminating the job.
+			job.Failures++
+			p.evictions++
+			_ = schedd.MarkEvicted(job)
+			return
+		}
+		p.completed++
+		_ = schedd.MarkCompleted(job, exitCode)
+	})
+}
+
+// RunUntilDone advances the kernel until every registered schedd has
+// drained or the horizon passes; it returns an error on timeout.
+// The pool is stopped either way.
+func (p *Pool) RunUntilDone(horizon sim.Time) error {
+	allDone := func() bool {
+		for _, s := range p.schedds {
+			if !s.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() && p.kernel.Now() < horizon {
+		if !p.kernel.Step() {
+			break
+		}
+	}
+	p.Stop()
+	if !allDone() {
+		return fmt.Errorf("ospool: workload not drained by horizon %v (completed %d)", horizon, p.completed)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time measured in seconds since the start of a run.
+// float64 seconds keep the arithmetic simple for throughput formulas
+// (jobs/minute) while giving sub-second resolution for the per-second
+// bursting loop.
+type Time float64
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// Hours reports t in hours.
+func (t Time) Hours() float64 { return float64(t) / 3600 }
+
+// Minutes reports t in minutes.
+func (t Time) Minutes() float64 { return float64(t) / 60 }
+
+// String formats t as "12h34m56s"-style simulated wall time.
+func (t Time) String() string { return t.Duration().Round(time.Second).String() }
+
+// Forever is a sentinel time far beyond any experiment horizon.
+const Forever Time = math.MaxFloat64 / 4
+
+// Event is a scheduled callback on the simulation calendar.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among equal timestamps
+	fn     func()
+	cancel bool
+	index  int // heap index, -1 once popped
+}
+
+// Cancel marks the event so its callback will not run. Safe to call
+// multiple times and after the event has fired (then it is a no-op).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on e.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator: a clock plus an ordered calendar
+// of future events. It is single-goroutine by design; determinism comes
+// from the (time, insertion-order) total order of events.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *RNG
+	// Steps counts executed events, for runaway detection in tests.
+	steps uint64
+}
+
+// NewKernel returns a kernel at time zero with a deterministic RNG.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's root random stream.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Steps reports how many events have executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending reports the number of events still on the calendar
+// (including cancelled events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (k *Kernel) At(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Step executes the next event. It reports false when the calendar is
+// empty. Cancelled events are skipped (but still consume a pop).
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		k.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to deadline (if the calendar ran dry earlier).
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 {
+		// Peek without popping.
+		e := k.events[0]
+		if e.cancel {
+			heap.Pop(&k.events)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (k *Kernel) RunWhile(cond func() bool) {
+	for cond() && k.Step() {
+	}
+}
+
+// Ticker invokes fn(now) every period seconds starting at start, until
+// the returned stop function is called. fn returning is what re-arms the
+// next tick, so a slow consumer cannot stack ticks.
+func (k *Kernel) Ticker(start, period Time, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(k.now)
+		if !stopped {
+			pending = k.After(period, tick)
+		}
+	}
+	pending = k.At(start, tick)
+	return func() {
+		stopped = true
+		pending.Cancel()
+	}
+}

@@ -1,0 +1,176 @@
+package wtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fdw/internal/htcondor"
+	"fdw/internal/sim"
+)
+
+func sampleJobs() []JobRecord {
+	return []JobRecord{
+		{ID: "1.0", Class: ClassRupture, Submit: 0, Start: 60, End: 210},
+		{ID: "1.1", Class: ClassRupture, Submit: 0, Start: 90, End: 250},
+		{ID: "2.0", Class: ClassGF, Submit: 300, Start: 360, End: 7560},
+		{ID: "3.0", Class: ClassWaveform, Submit: 7600, Start: 7700, End: 8750},
+		{ID: "3.1", Class: ClassWaveform, Submit: 7600, Start: -1, End: -1},
+	}
+}
+
+func TestBatchCSVRoundTrip(t *testing.T) {
+	b := BatchRecord{Name: "batch1", Submit: 0, Start: 60, End: 8750}
+	var buf bytes.Buffer
+	if err := WriteBatchCSV(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatchCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("round trip: %+v vs %+v", got, b)
+	}
+}
+
+func TestJobsCSVRoundTrip(t *testing.T) {
+	jobs := sampleJobs()
+	var buf bytes.Buffer
+	if err := WriteJobsCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("%d rows, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestJobRecordPredicates(t *testing.T) {
+	j := sampleJobs()[4]
+	if j.Started() || j.Finished() {
+		t.Fatal("unstarted job mispredicted")
+	}
+	j2 := sampleJobs()[0]
+	if !j2.Started() || !j2.Finished() {
+		t.Fatal("finished job mispredicted")
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	bad := []BatchRecord{
+		{Name: "", Submit: 0, Start: 1, End: 2},
+		{Name: "x", Submit: 5, Start: 1, End: 2},
+		{Name: "x", Submit: 0, Start: 3, End: 2},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+	}
+	if (BatchRecord{Name: "x", Submit: 0, Start: 1, End: 2}).Validate() != nil {
+		t.Fatal("good batch rejected")
+	}
+	if d := (BatchRecord{Name: "x", Submit: 10, Start: 20, End: 110}).Duration(); d != 100 {
+		t.Fatalf("duration %v", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadBatchCSV(strings.NewReader("just,one,row\n")); err == nil {
+		t.Fatal("malformed batch CSV accepted")
+	}
+	if _, err := ReadBatchCSV(strings.NewReader("h,h,h,h\na,b,c,d\n")); err == nil {
+		t.Fatal("non-numeric batch CSV accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty jobs CSV accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("h,h,h,h,h\n1.0,alien,0,1,2\n")); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("h,h,h,h,h\n1.0,rupture,zero,1,2\n")); err == nil {
+		t.Fatal("bad number accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("h,h\n1,2\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestFromSchedd(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := htcondor.NewSchedd("b", k, nil)
+	jobs := []*htcondor.Job{
+		{Owner: "u", Executable: "fdw_phase_A.sh", BaseExecSeconds: 100},
+		{Owner: "u", Executable: "fdw_phase_C.sh", BaseExecSeconds: 100},
+		{Owner: "u", Executable: "fdw_phase_B.sh", BaseExecSeconds: 100},
+	}
+	if _, err := s.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	k.At(10, func() {
+		for _, j := range jobs {
+			if err := s.MarkRunning(j, "h"); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.At(110, func() {
+		for _, j := range jobs {
+			if err := s.MarkCompleted(j, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.Run()
+	batch, recs, err := FromSchedd("b", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Submit != 0 || batch.Start != 10 || batch.End != 110 {
+		t.Fatalf("batch %+v", batch)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d job records", len(recs))
+	}
+	wantClasses := []JobClass{ClassRupture, ClassWaveform, ClassGF}
+	for i, r := range recs {
+		if r.Class != wantClasses[i] {
+			t.Fatalf("job %d class %q, want %q", i, r.Class, wantClasses[i])
+		}
+		if !r.Finished() || r.End != 110 {
+			t.Fatalf("job %d record %+v", i, r)
+		}
+	}
+}
+
+func TestFromScheddEmpty(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := htcondor.NewSchedd("b", k, nil)
+	if _, _, err := FromSchedd("b", s); err == nil {
+		t.Fatal("empty schedd accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]JobClass{
+		"fdw_phase_A.sh":      ClassRupture,
+		"fdw_phase_B.sh":      ClassGF,
+		"fdw_phase_C.sh":      ClassWaveform,
+		"fdw_phase_matrix.sh": ClassMatrix,
+		"other.sh":            ClassMatrix,
+	}
+	for exe, want := range cases {
+		if got := classify(exe); got != want {
+			t.Fatalf("classify(%q) = %q, want %q", exe, got, want)
+		}
+	}
+}
