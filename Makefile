@@ -1,0 +1,15 @@
+# Convenience targets; `make check` is the pre-PR gate (DESIGN.md §7).
+
+.PHONY: check test bench build
+
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem .

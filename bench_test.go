@@ -6,9 +6,14 @@ package fdw_test
 // regenerates the paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"fdw"
+	"fdw/internal/fakequakes"
+	"fdw/internal/linalg"
+	"fdw/internal/sim"
 )
 
 // benchOptions shrinks the workloads: one repetition, 3% scale.
@@ -100,6 +105,110 @@ func BenchmarkHeadlineSpeedup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- numeric-kernel benchmarks (see BENCH_kernels.json for the
+// recorded baseline) -------------------------------------------------
+//
+// The serial/parallel pairs quantify the multi-core speedup of the
+// linalg kernels; both variants return bit-identical results, so the
+// only difference is wall time.
+
+// kernelSizes straddle the paper-scale covariance sizes (a Mw 8–9 patch
+// on the 10 km Chilean mesh is a few hundred to ~1,000 subfaults).
+var kernelSizes = []int{256, 512, 1024}
+
+// benchSPD builds a covariance-like SPD matrix (exponential decay).
+func benchSPD(n int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Data[i*n+j] = math.Exp(-math.Abs(float64(i-j)) / (float64(n) / 8))
+		}
+	}
+	return m.AddDiag(1e-9)
+}
+
+func benchRandom(rows, cols int, seed uint64) *linalg.Matrix {
+	rng := sim.NewRNG(seed)
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Uniform(-1, 1)
+	}
+	return m
+}
+
+// BenchmarkCholesky factorizes covariance-sized SPD matrices with the
+// serial and the pool-parallel kernel.
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range kernelSizes {
+		m := benchSPD(n)
+		b.Run(fmt.Sprintf("serial/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.Cholesky(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.ParallelCholesky(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatMul multiplies square dense matrices. The serial kernel
+// here is already the dense path with the zero-skip branch removed
+// (recorded in BENCH_kernels.json as a few percent on dense operands).
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range kernelSizes {
+		x := benchRandom(n, n, 1)
+		y := benchRandom(n, n, 2)
+		b.Run(fmt.Sprintf("serial/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Mul(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := x.ParallelMul(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateScenario runs the full FakeQuakes numeric pipeline
+// (distance matrices, covariance, Cholesky, waveform synthesis) for a
+// large-patch magnitude. The warm variant reuses the shared
+// covariance-factor cache across iterations — the batch-of-ruptures
+// case the cache exists for; cold forces a fresh O(n³) factorization
+// every scenario, the pre-cache behaviour.
+func BenchmarkGenerateScenario(b *testing.B) {
+	const mw = 8.8 // large patch, sizeable covariance
+	b.Run("warm-factor-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fdw.GenerateScenario(uint64(i+1), mw, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-factor-cache", func(b *testing.B) {
+		old := fakequakes.DefaultFactorCache
+		fakequakes.DefaultFactorCache = nil
+		defer func() { fakequakes.DefaultFactorCache = old }()
+		for i := 0; i < b.N; i++ {
+			if _, err := fdw.GenerateScenario(uint64(i+1), mw, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkWorkflow16k measures one full-scale 16,000-waveform DAGMan

@@ -9,6 +9,8 @@
 //
 //	-scale f   workload scale (1.0 = the paper's quantities)
 //	-seeds n   repetitions (the paper uses 3)
+//	-j n       concurrent simulations (default: all cores; output is
+//	           byte-identical for any -j, so -j only changes wall time)
 //
 // fig5 runs the bursting sweep uncapped (VDC usage, §5.3.1–5.3.2);
 // fig6 reruns it with the paper's 30% bursted-job cap for the cost and
@@ -28,9 +30,10 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (0,1]")
-		seeds  = flag.Int("seeds", 3, "number of repetitions")
-		csvDir = flag.String("csv", "", "also write the figure data as CSV into this directory")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (0,1]")
+		seeds   = flag.Int("seeds", 3, "number of repetitions")
+		csvDir  = flag.String("csv", "", "also write the figure data as CSV into this directory")
+		workers = flag.Int("j", 0, "concurrent simulations (0 = all cores); any value gives byte-identical output")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,6 +43,7 @@ func main() {
 	opt := fdw.DefaultExperimentOptions()
 	opt.Scale = *scale
 	opt.Out = os.Stdout
+	opt.Workers = *workers
 	opt.Seeds = nil
 	for i := 0; i < *seeds; i++ {
 		opt.Seeds = append(opt.Seeds, uint64(11+13*i))

@@ -31,8 +31,10 @@ func AblationRecycling(opt Options) ([]AblationRow, error) {
 	}
 	w := opt.out()
 	fmt.Fprintf(w, "Ablation — matrix recycling (%d waveforms, full input)\n", opt.scaleN(1024))
-	var rows []AblationRow
-	for _, recycle := range []bool{true, false} {
+	variants := []bool{true, false}
+	rows := make([]AblationRow, len(variants))
+	err := forEachIndex(opt.workers(), len(variants), func(i int) error {
+		recycle := variants[i]
 		cfg := core.DefaultConfig()
 		cfg.Waveforms = opt.scaleN(1024)
 		cfg.RecycleMatrices = recycle
@@ -43,10 +45,16 @@ func AblationRecycling(opt Options) ([]AblationRow, error) {
 		}
 		rt, jpm, jobs, err := runOne(opt, cfg, opt.Seeds[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AblationRow{Label: label, RuntimeH: rt, ThroughputJPM: jpm, Jobs: jobs})
-		fmt.Fprintf(w, "  %-16s runtime %6.2f h, %6.2f JPM, %d jobs\n", label, rt, jpm, jobs)
+		rows[i] = AblationRow{Label: label, RuntimeH: rt, ThroughputJPM: jpm, Jobs: jobs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s runtime %6.2f h, %6.2f JPM, %d jobs\n", r.Label, r.RuntimeH, r.ThroughputJPM, r.Jobs)
 	}
 	return rows, nil
 }
@@ -60,8 +68,10 @@ func AblationStash(opt Options) ([]AblationRow, error) {
 	w := opt.out()
 	n := opt.scaleN(2000)
 	fmt.Fprintf(w, "Ablation — Stash cache (%d waveforms, full input)\n", n)
-	var rows []AblationRow
-	for _, withCache := range []bool{true, false} {
+	variants := []bool{true, false}
+	rows := make([]AblationRow, len(variants))
+	err := forEachIndex(opt.workers(), len(variants), func(i int) error {
+		withCache := variants[i]
 		k := sim.NewKernel(opt.Seeds[0])
 		var cache *stash.Cache
 		var err error
@@ -76,11 +86,11 @@ func AblationStash(opt Options) ([]AblationRow, error) {
 			label = "no cache (all cold)"
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pool, err := ospool.New(k, opt.Pool, cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := &core.Env{Kernel: k, Pool: pool, Cache: cache}
 		cfg := core.DefaultConfig()
@@ -89,18 +99,24 @@ func AblationStash(opt Options) ([]AblationRow, error) {
 		cfg.Seed = opt.Seeds[0]
 		wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := core.RunBatch(env, []*core.Workflow{wf}, opt.Horizon); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Label:         label,
 			RuntimeH:      wf.RuntimeHours(),
 			ThroughputJPM: wf.ThroughputJPM(),
 			Jobs:          wf.Schedd.Completed(),
-		})
-		fmt.Fprintf(w, "  %-20s runtime %6.2f h, %6.2f JPM\n", label, wf.RuntimeHours(), wf.ThroughputJPM())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s runtime %6.2f h, %6.2f JPM\n", r.Label, r.RuntimeH, r.ThroughputJPM)
 	}
 	return rows, nil
 }
@@ -115,19 +131,26 @@ func AblationFanout(opt Options) ([]AblationRow, error) {
 	w := opt.out()
 	n := opt.scaleN(4096)
 	fmt.Fprintf(w, "Ablation — waveforms per job (%d waveforms, full input)\n", n)
-	var rows []AblationRow
-	for _, perJob := range []int{1, 2, 8, 32} {
+	fanouts := []int{1, 2, 8, 32}
+	rows := make([]AblationRow, len(fanouts))
+	err := forEachIndex(opt.workers(), len(fanouts), func(i int) error {
+		perJob := fanouts[i]
 		cfg := core.DefaultConfig()
 		cfg.Waveforms = n
 		cfg.WaveformsPerJob = perJob
 		cfg.Name = fmt.Sprintf("ablate-fanout-%d", perJob)
 		rt, jpm, jobs, err := runOne(opt, cfg, opt.Seeds[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		label := fmt.Sprintf("%d wf/job", perJob)
-		rows = append(rows, AblationRow{Label: label, RuntimeH: rt, ThroughputJPM: jpm, Jobs: jobs})
-		fmt.Fprintf(w, "  %-10s runtime %6.2f h, %6.2f JPM, %d jobs\n", label, rt, jpm, jobs)
+		rows[i] = AblationRow{Label: fmt.Sprintf("%d wf/job", perJob), RuntimeH: rt, ThroughputJPM: jpm, Jobs: jobs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s runtime %6.2f h, %6.2f JPM, %d jobs\n", r.Label, r.RuntimeH, r.ThroughputJPM, r.Jobs)
 	}
 	return rows, nil
 }
@@ -152,26 +175,31 @@ func Policy3Sweep(opt Options) ([]Policy3Row, error) {
 	w := opt.out()
 	fmt.Fprintf(w, "Policy 3 sweep — burst on submission gaps\n")
 	fmt.Fprintf(w, "%8s %8s | %8s %8s %8s\n", "batch", "gap min", "AIT jpm", "burst %", "cost $")
-	var rows []Policy3Row
-	for bi, batch := range batches {
-		for _, gapMin := range []float64{5, 15, 30, 60} {
-			cfg := burst.DefaultConfig()
-			cfg.P3 = &burst.Policy3{MaxGapSecs: gapMin * 60, ProbeSecs: 30}
-			res, err := burst.Simulate(batch, jobs[bi], cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := Policy3Row{
-				Batch:      batch.Name,
-				MaxGapMin:  gapMin,
-				AvgJPM:     res.AvgInstantJPM,
-				BurstedPct: res.BurstedPct,
-				CostUSD:    res.CostUSD,
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%8s %8.0f | %8.2f %8.1f %8.2f\n",
-				row.Batch, row.MaxGapMin, row.AvgJPM, row.BurstedPct, row.CostUSD)
+	gaps := []float64{5, 15, 30, 60}
+	rows := make([]Policy3Row, len(batches)*len(gaps))
+	err = forEachIndex(opt.workers(), len(rows), func(i int) error {
+		bi, gapMin := i/len(gaps), gaps[i%len(gaps)]
+		cfg := burst.DefaultConfig()
+		cfg.P3 = &burst.Policy3{MaxGapSecs: gapMin * 60, ProbeSecs: 30}
+		res, err := burst.Simulate(batches[bi], jobs[bi], cfg)
+		if err != nil {
+			return err
 		}
+		rows[i] = Policy3Row{
+			Batch:      batches[bi].Name,
+			MaxGapMin:  gapMin,
+			AvgJPM:     res.AvgInstantJPM,
+			BurstedPct: res.BurstedPct,
+			CostUSD:    res.CostUSD,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%8s %8.0f | %8.2f %8.1f %8.2f\n",
+			row.Batch, row.MaxGapMin, row.AvgJPM, row.BurstedPct, row.CostUSD)
 	}
 	return rows, nil
 }
@@ -196,40 +224,44 @@ func ElasticComparison(opt Options) ([]ElasticRow, error) {
 	w := opt.out()
 	fmt.Fprintf(w, "Elastic bursting (future work §6) vs Policy 1 (target %d JPM)\n", Fig5Threshold)
 	fmt.Fprintf(w, "%8s %-10s | %8s %8s %9s %9s\n", "batch", "policy", "AIT jpm", "burst %", "cost $", "runtime h")
-	var rows []ElasticRow
-	for bi, batch := range batches {
-		configs := []struct {
-			name string
-			cfg  burst.Config
-		}{
-			{"policy-1", func() burst.Config {
-				c := burst.DefaultConfig()
-				c.P1 = &burst.Policy1{ProbeSecs: 30, ThresholdJPM: Fig5Threshold}
-				return c
-			}()},
-			{"elastic", func() burst.Config {
-				c := burst.DefaultConfig()
-				c.Elastic = &burst.ElasticPolicy{TargetJPM: Fig5Threshold, ProbeSecs: 30, MaxPerProbe: 8}
-				return c
-			}()},
+	configs := []struct {
+		name string
+		cfg  burst.Config
+	}{
+		{"policy-1", func() burst.Config {
+			c := burst.DefaultConfig()
+			c.P1 = &burst.Policy1{ProbeSecs: 30, ThresholdJPM: Fig5Threshold}
+			return c
+		}()},
+		{"elastic", func() burst.Config {
+			c := burst.DefaultConfig()
+			c.Elastic = &burst.ElasticPolicy{TargetJPM: Fig5Threshold, ProbeSecs: 30, MaxPerProbe: 8}
+			return c
+		}()},
+	}
+	rows := make([]ElasticRow, len(batches)*len(configs))
+	err = forEachIndex(opt.workers(), len(rows), func(i int) error {
+		bi, pc := i/len(configs), configs[i%len(configs)]
+		res, err := burst.Simulate(batches[bi], jobs[bi], pc.cfg)
+		if err != nil {
+			return err
 		}
-		for _, pc := range configs {
-			res, err := burst.Simulate(batch, jobs[bi], pc.cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := ElasticRow{
-				Batch:      batch.Name,
-				Policy:     pc.name,
-				AvgJPM:     res.AvgInstantJPM,
-				BurstedPct: res.BurstedPct,
-				CostUSD:    res.CostUSD,
-				RuntimeH:   res.RuntimeSecs / 3600,
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%8s %-10s | %8.2f %8.1f %9.2f %9.2f\n",
-				row.Batch, row.Policy, row.AvgJPM, row.BurstedPct, row.CostUSD, row.RuntimeH)
+		rows[i] = ElasticRow{
+			Batch:      batches[bi].Name,
+			Policy:     pc.name,
+			AvgJPM:     res.AvgInstantJPM,
+			BurstedPct: res.BurstedPct,
+			CostUSD:    res.CostUSD,
+			RuntimeH:   res.RuntimeSecs / 3600,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%8s %-10s | %8.2f %8.1f %9.2f %9.2f\n",
+			row.Batch, row.Policy, row.AvgJPM, row.BurstedPct, row.CostUSD, row.RuntimeH)
 	}
 	return rows, nil
 }
@@ -246,8 +278,11 @@ func AblationChurn(opt Options) ([]AblationRow, error) {
 	w := opt.out()
 	n := opt.scaleN(2000)
 	fmt.Fprintf(w, "Ablation — glidein churn (%d waveforms, full input)\n", n)
-	var rows []AblationRow
-	for _, churn := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows := make([]AblationRow, len(variants))
+	evicted := make([]int, len(variants))
+	err := forEachIndex(opt.workers(), len(variants), func(i int) error {
+		churn := variants[i]
 		pool := opt.Pool
 		pool.Sites = append([]ospool.SiteConfig(nil), opt.Pool.Sites...)
 		label := "6h pilots"
@@ -258,11 +293,11 @@ func AblationChurn(opt Options) ([]AblationRow, error) {
 		k := sim.NewKernel(opt.Seeds[0])
 		cache, err := stash.New(stash.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pl, err := ospool.New(k, pool, cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := &core.Env{Kernel: k, Pool: pl, Cache: cache}
 		cfg := core.DefaultConfig()
@@ -271,20 +306,27 @@ func AblationChurn(opt Options) ([]AblationRow, error) {
 		cfg.Seed = opt.Seeds[0]
 		wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := core.RunBatch(env, []*core.Workflow{wf}, opt.Horizon); err != nil {
-			return nil, err
+			return err
 		}
 		_, _, evictions := pl.Stats()
-		rows = append(rows, AblationRow{
+		evicted[i] = evictions
+		rows[i] = AblationRow{
 			Label:         label,
 			RuntimeH:      wf.RuntimeHours(),
 			ThroughputJPM: wf.ThroughputJPM(),
 			Jobs:          wf.Schedd.Completed(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
 		fmt.Fprintf(w, "  %-14s runtime %6.2f h, %6.2f JPM, %d evictions\n",
-			label, wf.RuntimeHours(), wf.ThroughputJPM(), evictions)
+			r.Label, r.RuntimeH, r.ThroughputJPM, evicted[i])
 	}
 	return rows, nil
 }

@@ -29,6 +29,11 @@ type Options struct {
 	Horizon sim.Time
 	// Out receives the printed rows; nil discards them.
 	Out io.Writer
+	// Workers bounds how many independent simulations run concurrently
+	// (the fdwexp -j flag). Each simulation owns a private Env, so any
+	// value produces byte-identical reports; non-positive means
+	// GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper: three repetitions at full scale.
@@ -114,41 +119,66 @@ func Fig2(opt Options) ([]Fig2Row, error) {
 	w := opt.out()
 	fmt.Fprintf(w, "Fig. 2 — increasing earthquake simulation quantities (scale %.2f, %d reps)\n", opt.Scale, len(opt.Seeds))
 	fmt.Fprintf(w, "%8s %9s %7s | %21s | %18s\n", "stations", "waveforms", "jobs", "avg runtime h (sd)", "avg JPM (sd)")
-	var rows []Fig2Row
+
+	// Flatten the sweep into (cell, seed) tasks and fan them out; rows
+	// are aggregated and printed in sweep order afterwards.
+	type cell struct {
+		stations, n int
+	}
+	var cells []cell
 	for _, stations := range []int{2, 121} {
 		for _, q := range Fig2Quantities {
-			n := opt.scaleN(q)
-			var rts, jpms, jobs []float64
-			for _, seed := range opt.Seeds {
-				cfg := core.DefaultConfig()
-				cfg.Name = fmt.Sprintf("fig2-s%d-q%d", stations, n)
-				cfg.Stations = stations
-				cfg.Waveforms = n
-				cfg.Seed = seed
-				rt, jpm, done, err := runOne(opt, cfg, seed)
-				if err != nil {
-					return nil, fmt.Errorf("fig2 %d×%d: %w", stations, n, err)
-				}
-				rts = append(rts, rt)
-				jpms = append(jpms, jpm)
-				jobs = append(jobs, float64(done))
-			}
-			row := Fig2Row{
-				Stations:      stations,
-				Waveforms:     n,
-				Jobs:          int(stats.Mean(jobs)),
-				RuntimeH:      stats.AvgTotalRuntime(rts),
-				RuntimeSD:     stats.SD(rts),
-				RuntimeMin:    stats.Min(rts),
-				RuntimeMax:    stats.Max(rts),
-				ThroughputJPM: stats.Mean(jpms),
-				ThroughputSD:  stats.SD(jpms),
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%8d %9d %7d | %10.2f (%6.2f) | %10.2f (%5.2f)\n",
-				row.Stations, row.Waveforms, row.Jobs,
-				row.RuntimeH, row.RuntimeSD, row.ThroughputJPM, row.ThroughputSD)
+			cells = append(cells, cell{stations, opt.scaleN(q)})
 		}
+	}
+	reps := len(opt.Seeds)
+	type result struct {
+		rt, jpm float64
+		jobs    int
+	}
+	results := make([]result, len(cells)*reps)
+	err := forEachIndex(opt.workers(), len(results), func(i int) error {
+		c, seed := cells[i/reps], opt.Seeds[i%reps]
+		cfg := core.DefaultConfig()
+		cfg.Name = fmt.Sprintf("fig2-s%d-q%d", c.stations, c.n)
+		cfg.Stations = c.stations
+		cfg.Waveforms = c.n
+		cfg.Seed = seed
+		rt, jpm, done, err := runOne(opt, cfg, seed)
+		if err != nil {
+			return fmt.Errorf("fig2 %d×%d: %w", c.stations, c.n, err)
+		}
+		results[i] = result{rt, jpm, done}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig2Row
+	for ci, c := range cells {
+		var rts, jpms, jobs []float64
+		for r := 0; r < reps; r++ {
+			res := results[ci*reps+r]
+			rts = append(rts, res.rt)
+			jpms = append(jpms, res.jpm)
+			jobs = append(jobs, float64(res.jobs))
+		}
+		row := Fig2Row{
+			Stations:      c.stations,
+			Waveforms:     c.n,
+			Jobs:          int(stats.Mean(jobs)),
+			RuntimeH:      stats.AvgTotalRuntime(rts),
+			RuntimeSD:     stats.SD(rts),
+			RuntimeMin:    stats.Min(rts),
+			RuntimeMax:    stats.Max(rts),
+			ThroughputJPM: stats.Mean(jpms),
+			ThroughputSD:  stats.SD(jpms),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%8d %9d %7d | %10.2f (%6.2f) | %10.2f (%5.2f)\n",
+			row.Stations, row.Waveforms, row.Jobs,
+			row.RuntimeH, row.RuntimeSD, row.ThroughputJPM, row.ThroughputSD)
 	}
 	return rows, nil
 }
@@ -182,35 +212,60 @@ func Fig3(opt Options) ([]Fig3Row, error) {
 	total := opt.scaleN(Fig3Total)
 	fmt.Fprintf(w, "Fig. 3 — concurrent HTCondor DAGMans jointly making %d waveforms (%d reps)\n", total, len(opt.Seeds))
 	fmt.Fprintf(w, "%7s %9s | %21s | %12s | %10s\n", "dagmans", "wf each", "avg runtime h (sd)", "avg JPM", "makespan h")
+
+	// One task per (concurrency level, seed); each task simulates its
+	// whole batch in a private Env. Per-task measurements are stitched
+	// back together in (level, seed, DAGMan) order so the floating-point
+	// aggregation below sums in exactly the serial order.
+	reps := len(opt.Seeds)
+	type batchResult struct {
+		rts, jpms []float64
+		makespan  float64
+	}
+	results := make([]batchResult, len(Fig3Concurrency)*reps)
+	err := forEachIndex(opt.workers(), len(results), func(t int) error {
+		n, seed := Fig3Concurrency[t/reps], opt.Seeds[t%reps]
+		each := total / n
+		env, err := core.NewEnv(seed, opt.Pool)
+		if err != nil {
+			return err
+		}
+		var wfs []*core.Workflow
+		for i := 0; i < n; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Name = fmt.Sprintf("fig3-n%d-d%d", n, i)
+			cfg.Waveforms = each
+			cfg.Seed = seed*1000 + uint64(i)
+			wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
+			if err != nil {
+				return err
+			}
+			wfs = append(wfs, wf)
+		}
+		if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
+			return fmt.Errorf("fig3 n=%d: %w", n, err)
+		}
+		res := &results[t]
+		for _, wf := range wfs {
+			res.rts = append(res.rts, wf.RuntimeHours())
+			res.jpms = append(res.jpms, wf.ThroughputJPM())
+		}
+		res.makespan = float64(env.Kernel.Now()) / 3600
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Fig3Row
-	for _, n := range Fig3Concurrency {
+	for li, n := range Fig3Concurrency {
 		each := total / n
 		var rts, jpms, makespans []float64
-		for _, seed := range opt.Seeds {
-			env, err := core.NewEnv(seed, opt.Pool)
-			if err != nil {
-				return nil, err
-			}
-			var wfs []*core.Workflow
-			for i := 0; i < n; i++ {
-				cfg := core.DefaultConfig()
-				cfg.Name = fmt.Sprintf("fig3-n%d-d%d", n, i)
-				cfg.Waveforms = each
-				cfg.Seed = seed*1000 + uint64(i)
-				wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
-				if err != nil {
-					return nil, err
-				}
-				wfs = append(wfs, wf)
-			}
-			if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
-				return nil, fmt.Errorf("fig3 n=%d: %w", n, err)
-			}
-			for _, wf := range wfs {
-				rts = append(rts, wf.RuntimeHours())
-				jpms = append(jpms, wf.ThroughputJPM())
-			}
-			makespans = append(makespans, float64(env.Kernel.Now())/3600)
+		for r := 0; r < reps; r++ {
+			res := results[li*reps+r]
+			rts = append(rts, res.rts...)
+			jpms = append(jpms, res.jpms...)
+			makespans = append(makespans, res.makespan)
 		}
 		row := Fig3Row{
 			DAGMans:       n,

@@ -436,6 +436,47 @@ func TestAblationChurn(t *testing.T) {
 	}
 }
 
+// The harness contract for fdwexp -j: any worker count produces
+// byte-identical reports, because every simulation owns a private Env
+// and results are collected by index before printing.
+func TestHarnessOutputIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		opt := quickOptions()
+		opt.Scale = 0.03
+		opt.Seeds = []uint64{7, 19}
+		opt.Workers = workers
+		var out bytes.Buffer
+		opt.Out = &out
+		if _, err := Fig2(opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Fig3(opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Fig4(opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Fig5(opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Headline(opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AblationFanout(opt); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("-j 1 and -j 8 reports differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+	if defaultWorkers := render(0); defaultWorkers != serial {
+		t.Fatal("-j 0 (all cores) report differs from -j 1")
+	}
+}
+
 func TestCSVWriters(t *testing.T) {
 	var buf bytes.Buffer
 	fig2 := []Fig2Row{{Stations: 2, Waveforms: 100, Jobs: 57, RuntimeH: 0.5, ThroughputJPM: 1.9}}

@@ -43,11 +43,14 @@ func Fig4(opt Options) ([]Fig4Data, error) {
 	total := opt.scaleN(Fig3Total)
 	fmt.Fprintf(w, "Fig. 4 — job execution/wait times and per-second footprints (%d waveforms)\n", total)
 	seed := opt.Seeds[0]
-	var out []Fig4Data
-	for _, n := range Fig3Concurrency {
+	// Each concurrency level is an independent simulation; fan the four
+	// levels out and print in ladder order afterwards.
+	out := make([]Fig4Data, len(Fig3Concurrency))
+	err := forEachIndex(opt.workers(), len(Fig3Concurrency), func(li int) error {
+		n := Fig3Concurrency[li]
 		env, err := core.NewEnv(seed, opt.Pool)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var wfs []*core.Workflow
 		var logs []*bytes.Buffer
@@ -59,13 +62,13 @@ func Fig4(opt Options) ([]Fig4Data, error) {
 			buf := &bytes.Buffer{}
 			wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, buf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			wfs = append(wfs, wf)
 			logs = append(logs, buf)
 		}
 		if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
-			return nil, fmt.Errorf("fig4 n=%d: %w", n, err)
+			return fmt.Errorf("fig4 n=%d: %w", n, err)
 		}
 
 		data := Fig4Data{DAGMans: n}
@@ -110,9 +113,15 @@ func Fig4(opt Options) ([]Fig4Data, error) {
 				data.PeakRunning = int(p.V)
 			}
 		}
-		out = append(out, data)
+		out[li] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, data := range out {
 		fmt.Fprintf(w, "  n=%d: waveform exec %.1f min (sd %.1f), wait %.1f min (sd %.1f); rupture exec %.1f min; peak running %d; peak instant %.1f JPM\n",
-			n, data.WaveformExecMin.Mean, data.WaveformExecMin.SD,
+			data.DAGMans, data.WaveformExecMin.Mean, data.WaveformExecMin.SD,
 			data.WaveformWaitMin.Mean, data.WaveformWaitMin.SD,
 			data.RuptureExecMin.Mean, data.PeakRunning, data.PeakInstantJPM)
 	}

@@ -43,28 +43,30 @@ func MakeBatchTraces(opt Options) (batches []wtrace.BatchRecord, jobs [][]wtrace
 		return nil, nil, err
 	}
 	total := opt.scaleN(Fig3Total)
-	for i, seed := range []uint64{opt.Seeds[0], opt.Seeds[0] + 101} {
-		env, err := core.NewEnv(seed, opt.Pool)
+	seeds := []uint64{opt.Seeds[0], opt.Seeds[0] + 101}
+	batches = make([]wtrace.BatchRecord, len(seeds))
+	jobs = make([][]wtrace.JobRecord, len(seeds))
+	err = forEachIndex(opt.workers(), len(seeds), func(i int) error {
+		env, err := core.NewEnv(seeds[i], opt.Pool)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Name = fmt.Sprintf("batch%d", i+1)
 		cfg.Waveforms = total
-		cfg.Seed = seed
+		cfg.Seed = seeds[i]
 		w, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {
-			return nil, nil, fmt.Errorf("trace batch %d: %w", i+1, err)
+			return fmt.Errorf("trace batch %d: %w", i+1, err)
 		}
-		b, js, err := wtrace.FromSchedd(cfg.Name, w.Schedd)
-		if err != nil {
-			return nil, nil, err
-		}
-		batches = append(batches, b)
-		jobs = append(jobs, js)
+		batches[i], jobs[i], err = wtrace.FromSchedd(cfg.Name, w.Schedd)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return batches, jobs, nil
 }
@@ -98,36 +100,55 @@ func Fig5FromTraces(opt Options, batches []wtrace.BatchRecord, jobs [][]wtrace.J
 		label, Fig5Threshold, Fig5ProbeTimes, Fig5QueueTimesMin, maxBurstFraction*100)
 	fmt.Fprintf(w, "%8s %7s %7s | %8s %8s %8s | %7s %9s %9s\n",
 		"batch", "probe s", "queue m", "AIT jpm", "max jpm", "VDC %", "burst %", "runtime h", "cost $")
-	var cells []Fig5Cell
-	for bi, batch := range batches {
-		controlCfg := burst.DefaultConfig()
-		controlCfg.MaxBurstFraction = maxBurstFraction
-		control, err := burst.Simulate(batch, jobs[bi], controlCfg)
-		if err != nil {
-			return nil, fmt.Errorf("control %s: %w", batch.Name, err)
-		}
-		cc := cellFrom(batch.Name, 0, 0, control)
-		cc.Control = true
-		cells = append(cells, cc)
-		fmt.Fprintf(w, "%8s %7s %7s | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
-			batch.Name, "ctl", "-", cc.AvgJPM, cc.MaxJPM, cc.VDCPct, cc.BurstedPct, cc.RuntimeH, cc.CostUSD)
+	// Enumerate every (batch, policy) cell in print order, replay the
+	// traces concurrently (Simulate only reads them), then print.
+	type spec struct {
+		bi            int
+		probe, queueM float64
+		control       bool
+	}
+	var specs []spec
+	for bi := range batches {
+		specs = append(specs, spec{bi: bi, control: true})
 		for _, queueM := range Fig5QueueTimesMin {
 			for _, probe := range Fig5ProbeTimes {
-				cfg := burst.DefaultConfig()
-				cfg.MaxBurstFraction = maxBurstFraction
-				cfg.P1 = &burst.Policy1{ProbeSecs: probe, ThresholdJPM: Fig5Threshold}
-				cfg.P2 = &burst.Policy2{MaxQueueSecs: queueM * 60}
-				res, err := burst.Simulate(batch, jobs[bi], cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s probe %v queue %v: %w", batch.Name, probe, queueM, err)
-				}
-				cell := cellFrom(batch.Name, probe, queueM, res)
-				cells = append(cells, cell)
-				fmt.Fprintf(w, "%8s %7.0f %7.0f | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
-					batch.Name, probe, queueM, cell.AvgJPM, cell.MaxJPM, cell.VDCPct,
-					cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
+				specs = append(specs, spec{bi: bi, probe: probe, queueM: queueM})
 			}
 		}
+	}
+	cells := make([]Fig5Cell, len(specs))
+	err := forEachIndex(opt.workers(), len(specs), func(i int) error {
+		s := specs[i]
+		batch := batches[s.bi]
+		cfg := burst.DefaultConfig()
+		cfg.MaxBurstFraction = maxBurstFraction
+		if !s.control {
+			cfg.P1 = &burst.Policy1{ProbeSecs: s.probe, ThresholdJPM: Fig5Threshold}
+			cfg.P2 = &burst.Policy2{MaxQueueSecs: s.queueM * 60}
+		}
+		res, err := burst.Simulate(batch, jobs[s.bi], cfg)
+		if err != nil {
+			if s.control {
+				return fmt.Errorf("control %s: %w", batch.Name, err)
+			}
+			return fmt.Errorf("%s probe %v queue %v: %w", batch.Name, s.probe, s.queueM, err)
+		}
+		cells[i] = cellFrom(batch.Name, s.probe, s.queueM, res)
+		cells[i].Control = s.control
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
+		if cell.Control {
+			fmt.Fprintf(w, "%8s %7s %7s | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
+				cell.Batch, "ctl", "-", cell.AvgJPM, cell.MaxJPM, cell.VDCPct, cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
+			continue
+		}
+		fmt.Fprintf(w, "%8s %7.0f %7.0f | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
+			cell.Batch, cell.ProbeSecs, cell.MaxQueueM, cell.AvgJPM, cell.MaxJPM, cell.VDCPct,
+			cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
 	}
 	return cells, nil
 }

@@ -30,31 +30,38 @@ func Headline(opt Options) (*HeadlineResult, error) {
 	n1024 := opt.scaleN(1024)
 	n50000 := opt.scaleN(50000)
 
-	run := func(q int) (float64, float64, error) {
-		var rts, jpms []float64
-		for _, seed := range opt.Seeds {
-			cfg := core.DefaultConfig()
-			cfg.Name = fmt.Sprintf("headline-%d", q)
-			cfg.Waveforms = q
-			cfg.Seed = seed
-			rt, jpm, _, err := runOne(opt, cfg, seed)
-			if err != nil {
-				return 0, 0, err
-			}
-			rts = append(rts, rt)
-			jpms = append(jpms, jpm)
+	// Both quantities × all seeds fan out together; per-seed results are
+	// averaged in seed order, as a serial run would.
+	reps := len(opt.Seeds)
+	quantities := []int{n1024, n50000}
+	type result struct{ rt, jpm float64 }
+	results := make([]result, len(quantities)*reps)
+	err := forEachIndex(opt.workers(), len(results), func(i int) error {
+		q, seed := quantities[i/reps], opt.Seeds[i%reps]
+		cfg := core.DefaultConfig()
+		cfg.Name = fmt.Sprintf("headline-%d", q)
+		cfg.Waveforms = q
+		cfg.Seed = seed
+		rt, jpm, _, err := runOne(opt, cfg, seed)
+		if err != nil {
+			return fmt.Errorf("headline %d run: %w", q, err)
 		}
-		return stats.Mean(rts), stats.Mean(jpms), nil
-	}
-
-	fdwH, jpmSmall, err := run(n1024)
+		results[i] = result{rt, jpm}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("headline FDW run: %w", err)
+		return nil, err
 	}
-	_, jpmBig, err := run(n50000)
-	if err != nil {
-		return nil, fmt.Errorf("headline 50k run: %w", err)
+	mean := func(qi int, field func(result) float64) float64 {
+		vals := make([]float64, reps)
+		for r := 0; r < reps; r++ {
+			vals[r] = field(results[qi*reps+r])
+		}
+		return stats.Mean(vals)
 	}
+	fdwH := mean(0, func(r result) float64 { return r.rt })
+	jpmSmall := mean(0, func(r result) float64 { return r.jpm })
+	jpmBig := mean(1, func(r result) float64 { return r.jpm })
 
 	cfg := core.DefaultConfig()
 	cfg.Waveforms = n1024

@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The experiment harness fans independent simulations across a bounded
+// worker pool. Every task owns a private Env (kernel, pool, stash), so
+// runs are embarrassingly parallel; results are collected by index and
+// printed after the fan-out, which keeps row order — and therefore the
+// printed report and any CSV — byte-identical to a serial run.
+
+// workers resolves Options.Workers: non-positive means use every core.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs job(0..n-1) on at most workers goroutines and
+// returns the lowest-index error, matching what a serial sweep would
+// report. With one worker it degrades to a plain loop that stops at the
+// first error.
+func forEachIndex(workers, n int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

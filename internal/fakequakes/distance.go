@@ -50,25 +50,27 @@ func ComputeDistanceMatrices(f *geom.Fault, stations []geom.Station) *DistanceMa
 		}(w)
 	}
 	wg.Wait()
-	// Mirror the upper triangle (serial: cheap, avoids write overlap).
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			sub.Set(j, i, sub.At(i, j))
+	// Mirror the upper triangle in parallel: after the fill above every
+	// source cell (i,j), i<j, is final, and partitioning by destination
+	// row j gives each worker disjoint writes. This was the last O(n²)
+	// serial stage of the matrix job.
+	linalg.ParallelFor(n, 16, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := sub.Row(j)
+			for i := 0; i < j; i++ {
+				row[i] = sub.Data[i*n+j]
+			}
 		}
-	}
+	})
 	sta := linalg.NewMatrix(len(stations), n)
-	var sg sync.WaitGroup
-	for s := range stations {
-		sg.Add(1)
-		go func(s int) {
-			defer sg.Done()
+	linalg.ParallelFor(len(stations), 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
 			row := sta.Row(s)
 			for j := 0; j < n; j++ {
 				row[j] = geom.HaversineKm(stations[s].Pos, f.Subfaults[j].Center)
 			}
-		}(s)
-	}
-	sg.Wait()
+		}
+	})
 	return &DistanceMatrices{Subfault: sub, Station: sta}
 }
 

@@ -91,13 +91,19 @@ func (r *Rupture) Duration() float64 {
 // log-normal correlated slip from a distance-based covariance, rescale
 // to the target moment, and time the rupture front from the hypocenter.
 type Generator struct {
-	Fault    *geom.Fault
-	Dist     *DistanceMatrices
-	Kern     Kernel
-	MinMw    float64 // target magnitude range, inclusive
-	MaxMw    float64
-	SigmaLn  float64 // log-slip standard deviation (MudPy default ≈ 0.9)
-	maxPatch int     // guard for covariance size; 0 = unlimited
+	Fault   *geom.Fault
+	Dist    *DistanceMatrices
+	Kern    Kernel
+	MinMw   float64 // target magnitude range, inclusive
+	MaxMw   float64
+	SigmaLn float64 // log-slip standard deviation (MudPy default ≈ 0.9)
+	// Factors recycles slip-covariance Cholesky factors across
+	// scenarios (see FactorCache). NewGenerator wires the shared
+	// DefaultFactorCache; set nil to force a fresh factorization per
+	// scenario.
+	Factors   *FactorCache
+	faultHash uint64 // memoized faultCovHash of Fault
+	maxPatch  int    // guard for covariance size; 0 = unlimited
 }
 
 // NewGenerator validates inputs and returns a Generator with MudPy-like
@@ -113,12 +119,14 @@ func NewGenerator(f *geom.Fault, d *DistanceMatrices) (*Generator, error) {
 		return nil, err
 	}
 	return &Generator{
-		Fault:   f,
-		Dist:    d,
-		Kern:    Exponential,
-		MinMw:   7.8,
-		MaxMw:   9.2,
-		SigmaLn: 0.9,
+		Fault:     f,
+		Dist:      d,
+		Kern:      Exponential,
+		MinMw:     7.8,
+		MaxMw:     9.2,
+		SigmaLn:   0.9,
+		Factors:   DefaultFactorCache,
+		faultHash: faultCovHash(f),
 	}, nil
 }
 
@@ -247,29 +255,31 @@ func (g *Generator) correlatedSlip(patch []int, mw float64, rng *sim.RNG) ([]flo
 	aS, aD := CorrelationLengths(mw)
 	f := g.Fault
 
-	cov := linalg.NewMatrix(n, n)
-	for a := 0; a < n; a++ {
-		sa := &f.Subfaults[patch[a]]
-		for b := a; b < n; b++ {
-			sb := &f.Subfaults[patch[b]]
-			ds := float64(sa.Along-sb.Along) * f.SubfaultLen
-			dd := float64(sa.Down-sb.Down) * f.SubfaultWid
-			r := math.Sqrt((ds/aS)*(ds/aS) + (dd/aD)*(dd/aD))
-			c := g.SigmaLn * g.SigmaLn * g.Kern.value(r)
-			cov.Set(a, b, c)
-			cov.Set(b, a, c)
-		}
+	// Recycle the O(n³) factor when an identical covariance was already
+	// factorized (same fault, kernel, correlation lengths, patch shape).
+	// The RNG is untouched by the factorization, so hit and miss paths
+	// consume exactly the same variates and scenarios stay bit-identical.
+	var key uint64
+	var l *linalg.Matrix
+	if g.Factors != nil {
+		key = covFactorKey(g.faultHash, g.Kern, g.SigmaLn, aS, aD, f, patch)
+		l, _ = g.Factors.Get(key)
 	}
-	cov.AddDiag(1e-8 * g.SigmaLn * g.SigmaLn)
-	l, err := linalg.Cholesky(cov)
-	if err != nil {
-		return nil, fmt.Errorf("fakequakes: slip covariance: %w", err)
+	if l == nil {
+		l2, err := g.factorCovariance(patch, aS, aD)
+		if err != nil {
+			return nil, err
+		}
+		l = l2
+		if g.Factors != nil {
+			g.Factors.Put(key, l)
+		}
 	}
 	z := make([]float64, n)
 	for i := range z {
 		z[i] = rng.Norm()
 	}
-	corr, err := l.MulVec(z)
+	corr, err := l.ParallelMulVec(z)
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +296,38 @@ func (g *Generator) correlatedSlip(patch []int, mw float64, rng *sim.RNG) ([]flo
 	// with a modified boxcar); a cosine taper over the outer 15%.
 	g.taper(patch, slip)
 	return slip, nil
+}
+
+// factorCovariance builds the patch's slip covariance and returns its
+// Cholesky factor. The fill parallelizes over upper-triangle rows —
+// every cell (a,b) and its mirror (b,a) is written by exactly one
+// worker (the one owning row min(a,b)), so the writes are disjoint —
+// and the factorization uses the bit-identical parallel kernel, keeping
+// the factor independent of GOMAXPROCS.
+func (g *Generator) factorCovariance(patch []int, aS, aD float64) (*linalg.Matrix, error) {
+	n := len(patch)
+	f := g.Fault
+	cov := linalg.NewMatrix(n, n)
+	linalg.ParallelFor(n, 4, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			sa := &f.Subfaults[patch[a]]
+			for b := a; b < n; b++ {
+				sb := &f.Subfaults[patch[b]]
+				ds := float64(sa.Along-sb.Along) * f.SubfaultLen
+				dd := float64(sa.Down-sb.Down) * f.SubfaultWid
+				r := math.Sqrt((ds/aS)*(ds/aS) + (dd/aD)*(dd/aD))
+				c := g.SigmaLn * g.SigmaLn * g.Kern.value(r)
+				cov.Set(a, b, c)
+				cov.Set(b, a, c)
+			}
+		}
+	})
+	cov.AddDiag(1e-8 * g.SigmaLn * g.SigmaLn)
+	l, err := linalg.ParallelCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("fakequakes: slip covariance: %w", err)
+	}
+	return l, nil
 }
 
 func (g *Generator) taper(patch []int, slip []float64) {

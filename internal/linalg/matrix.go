@@ -111,10 +111,10 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	for i := 0; i < m.Rows; i++ {
 		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		// No zero-skip here: the simulation's operands are dense
+		// (covariances, distance products), where the branch costs more
+		// than the multiply it saves and defeats vectorization.
 		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
 				orow[j] += a * bv
@@ -278,16 +278,16 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: rhs length %d for %d rows", len(b), a.Rows)
 	}
 	at := a.T()
-	ata, err := at.Mul(a)
+	ata, err := at.ParallelMul(a)
 	if err != nil {
 		return nil, err
 	}
 	ata.AddDiag(1e-9)
-	atb, err := at.MulVec(b)
+	atb, err := at.ParallelMulVec(b)
 	if err != nil {
 		return nil, err
 	}
-	l, err := Cholesky(ata)
+	l, err := ParallelCholesky(ata)
 	if err != nil {
 		return nil, fmt.Errorf("linalg: normal equations not positive definite: %w", err)
 	}

@@ -1,0 +1,201 @@
+// Parallel, cache-blocked variants of the hot kernels (Cholesky,
+// matrix-matrix and matrix-vector products) on a shared bounded worker
+// pool sized by GOMAXPROCS.
+//
+// Bit-identity contract: every output element is computed with exactly
+// the serial kernels' summation order — a single left-to-right
+// accumulation over k — so the parallel kernels return results that are
+// bit-identical to Cholesky/Mul/MulVec for the same input, regardless
+// of worker count. Parallelism only partitions *independent* output
+// elements (rows) across workers; it never splits or reassociates a
+// single element's reduction. This is what keeps FakeQuakes scenarios
+// deterministic by seed under GOMAXPROCS=1 vs N.
+//
+// A note on the factorization shape: a classical right-looking Cholesky
+// applies trailing-submatrix updates panel by panel, which accumulates
+// each element as ((m - s1) - s2) - … and would change rounding versus
+// the serial kernel's single m - (s1+s2+…) subtraction. To stay
+// bit-identical we keep the serial (left-looking, full prefix dot)
+// arithmetic per element and instead parallelize each column's
+// independent row updates, with workers owning contiguous, cache-sized
+// row blocks.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// The shared pool: GOMAXPROCS goroutines consuming closures. Started
+// lazily on first use; tasks that find the queue full run inline on the
+// submitter, so progress never depends on a free worker (and nested use
+// from already-parallel callers cannot deadlock).
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+)
+
+func pool() chan func() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		poolTasks = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for task := range poolTasks {
+					task()
+				}
+			}()
+		}
+	})
+	return poolTasks
+}
+
+// ParallelFor splits [0, n) into contiguous chunks of at least minGrain
+// iterations and runs body(lo, hi) for each chunk on the shared pool,
+// returning when all chunks finish. body must only write state owned by
+// its own [lo, hi) range. With one worker, or when n is within a single
+// grain, body runs inline on the caller.
+func ParallelFor(n, minGrain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	if chunk < minGrain {
+		chunk = minGrain
+	}
+	if workers == 1 || chunk >= n {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		task := func(lo, hi int) func() {
+			return func() {
+				defer wg.Done()
+				body(lo, hi)
+			}
+		}(lo, hi)
+		select {
+		case pool() <- task:
+		default:
+			task() // queue full: run on the submitter
+		}
+	}
+	wg.Wait()
+}
+
+// Work thresholds below which the parallel kernels run their serial
+// inner loops: fan-out overhead beats the arithmetic for tiny inputs.
+const (
+	parallelFlopCutoff = 1 << 14 // per dispatch, roughly a few µs of math
+	rowGrain           = 8       // minimum rows per worker chunk
+)
+
+// ParallelCholesky computes the same lower-triangular factor as
+// Cholesky, bit-identically, parallelizing each column's row updates
+// across the shared pool (see the package comment on why the trailing
+// update is not right-looking).
+func ParallelCholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	var fail bool
+	for j := 0; j < n; j++ {
+		var diag float64
+		ljRow := l.Data[j*n : j*n+j]
+		for _, v := range ljRow {
+			diag += v * v
+		}
+		d := m.Data[j*n+j] - diag
+		if d <= 0 || math.IsNaN(d) {
+			fail = true
+			break
+		}
+		ljj := math.Sqrt(d)
+		l.Data[j*n+j] = ljj
+		rows := n - (j + 1)
+		update := func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				var s float64
+				liRow := l.Data[i*n : i*n+j]
+				for k, v := range liRow {
+					s += v * ljRow[k]
+				}
+				l.Data[i*n+j] = (m.Data[i*n+j] - s) / ljj
+			}
+		}
+		if rows*j < parallelFlopCutoff {
+			update(0, rows)
+		} else {
+			ParallelFor(rows, rowGrain, update)
+		}
+	}
+	if fail {
+		return nil, ErrNotPositiveDefinite
+	}
+	return l, nil
+}
+
+// ParallelMulVec returns m·x, bit-identical to MulVec, with output rows
+// partitioned across the pool.
+func (m *Matrix) ParallelMulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return m.MulVec(x) // same dimension-mismatch error
+	}
+	if m.Rows*m.Cols < parallelFlopCutoff {
+		return m.MulVec(x)
+	}
+	y := make([]float64, m.Rows)
+	ParallelFor(m.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
+		}
+	})
+	return y, nil
+}
+
+// ParallelMul returns m·b, bit-identical to Mul, with output rows
+// partitioned across the pool. Each worker's chunk keeps the serial
+// kernel's k-major accumulation order per output row, so per-element
+// rounding matches exactly; chunking rows also keeps each worker's
+// working set (its slice of m and out, streamed rows of b) cache-sized.
+func (m *Matrix) ParallelMul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return m.Mul(b) // same dimension-mismatch error
+	}
+	if m.Rows*m.Cols*b.Cols < parallelFlopCutoff {
+		return m.Mul(b)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	ParallelFor(m.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for k, a := range arow {
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
+			}
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// deterministic pseudo-random fill (splitmix64), independent of
+// math/rand so the fixtures are stable.
+type testRNG uint64
+
+func (r *testRNG) next() float64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53)*2 - 1
+}
+
+func randomMatrix(rows, cols int, seed uint64) *Matrix {
+	r := testRNG(seed)
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.next()
+	}
+	return m
+}
+
+// spdMatrix builds a covariance-like symmetric positive-definite matrix
+// with exponentially decaying off-diagonal correlation.
+func spdMatrix(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Data[i*n+j] = math.Exp(-math.Abs(float64(i-j)) / (float64(n)/8 + 1))
+		}
+	}
+	m.AddDiag(1e-10)
+	return m
+}
+
+func bitsEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: element %d differs: %x vs %x (%v vs %v)",
+				name, i, math.Float64bits(a[i]), math.Float64bits(b[i]), a[i], b[i])
+		}
+	}
+}
+
+// Sizes straddle the serial cutoff, odd chunk boundaries, and the
+// benchmark sizes' shape (capped for test speed).
+var paritySizes = []int{1, 2, 3, 7, 16, 33, 64, 129, 256}
+
+func TestParallelCholeskyBitIdentical(t *testing.T) {
+	for _, n := range paritySizes {
+		m := spdMatrix(n)
+		want, err := Cholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d serial: %v", n, err)
+		}
+		got, err := ParallelCholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d parallel: %v", n, err)
+		}
+		bitsEqual(t, "cholesky", want.Data, got.Data)
+	}
+}
+
+func TestParallelCholeskyErrors(t *testing.T) {
+	if _, err := ParallelCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	bad := NewMatrix(64, 64) // all-zero: not positive definite
+	if _, err := ParallelCholesky(bad); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestParallelMulBitIdentical(t *testing.T) {
+	for _, n := range paritySizes {
+		a := randomMatrix(n, n+3, uint64(n))
+		b := randomMatrix(n+3, n+1, uint64(n)+1000)
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.ParallelMul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "mul", want.Data, got.Data)
+	}
+	a := NewMatrix(2, 3)
+	if _, err := a.ParallelMul(NewMatrix(4, 2)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestParallelMulVecBitIdentical(t *testing.T) {
+	for _, n := range paritySizes {
+		a := randomMatrix(n, 2*n+1, uint64(n))
+		x := randomMatrix(1, 2*n+1, uint64(n)+5000).Data
+		want, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.ParallelMulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "mulvec", want, got)
+	}
+	if _, err := NewMatrix(2, 3).ParallelMulVec(make([]float64, 5)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// The kernels must give the same bits whatever GOMAXPROCS says, since
+// each element's reduction is never split across workers.
+func TestParallelKernelsAcrossGOMAXPROCS(t *testing.T) {
+	n := 192
+	m := spdMatrix(n)
+	a := randomMatrix(n, n, 9)
+	b := randomMatrix(n, n, 10)
+
+	old := runtime.GOMAXPROCS(1)
+	l1, err := ParallelCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.ParallelMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(old)
+
+	lN, err := ParallelCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pN, err := a.ParallelMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "cholesky gomaxprocs", l1.Data, lN.Data)
+	bitsEqual(t, "mul gomaxprocs", p1.Data, pN.Data)
+}
+
+func TestParallelFor(t *testing.T) {
+	// Covers every index exactly once, for chunked and inline paths.
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		seen := make([]int, n)
+		ParallelFor(n, 3, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Pre-PR gate (see DESIGN.md §7): vet, build, race-enabled tests, and a
+# one-iteration benchmark smoke pass. Run from the repo root, directly
+# or via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== bench smoke (-benchtime 1x)"
+go test -run '^$' -bench . -benchtime 1x .
+
+echo "check: OK"
