@@ -31,6 +31,7 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write batch.csv and jobs.csv traces here")
 		horizonH   = flag.Float64("horizon", 1000, "simulation horizon (hours)")
 		emitDir    = flag.String("emit", "", "write fdw.dag + submit files here instead of running")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot here after the run")
 	)
 	flag.Parse()
 	if *emitDir != "" {
@@ -43,13 +44,13 @@ func main() {
 		fmt.Printf("artifacts written to %s (fdw.dag, fdw.cfg, 4 submit files)\n", *emitDir)
 		return
 	}
-	if err := run(*configPath, *name, *waveforms, *stations, *seed, *logPath, *traceDir, *horizonH); err != nil {
+	if err := run(*configPath, *name, *waveforms, *stations, *seed, *logPath, *traceDir, *horizonH, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdw:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, name string, waveforms, stations int, seed uint64, logPath, traceDir string, horizonH float64) error {
+func run(configPath, name string, waveforms, stations int, seed uint64, logPath, traceDir string, horizonH float64, metricsOut string) error {
 	cfg := fdw.DefaultConfig()
 	if configPath != "" {
 		f, err := os.Open(configPath)
@@ -68,7 +69,13 @@ func run(configPath, name string, waveforms, stations int, seed uint64, logPath,
 		cfg.Seed = seed
 	}
 
-	env, err := fdw.NewEnv(cfg.Seed, fdw.DefaultPoolConfig())
+	// With -metrics the environment carries a registry clocked by the
+	// simulation; results are identical either way.
+	newEnv := fdw.NewEnv
+	if metricsOut != "" {
+		newEnv = fdw.NewMeteredEnv
+	}
+	env, err := newEnv(cfg.Seed, fdw.DefaultPoolConfig())
 	if err != nil {
 		return err
 	}
@@ -126,6 +133,18 @@ func run(configPath, name string, waveforms, stations int, seed uint64, logPath,
 			return err
 		}
 		fmt.Printf("traces written to %s (batch.csv, jobs.csv — burstsim input)\n", traceDir)
+	}
+
+	if metricsOut != "" {
+		mf, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		if err := env.Obs.WriteJSON(mf); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s (render with fdwmon -metrics)\n", metricsOut)
 	}
 	return nil
 }

@@ -11,9 +11,17 @@ func TestRunWithFlags(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "run.log")
 	traceDir := filepath.Join(dir, "traces")
-	err := run("", "clitest", 64, 2, 3, logPath, traceDir, 48)
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run("", "clitest", 64, 2, 3, logPath, traceDir, 48, metricsPath)
 	if err != nil {
 		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), "fdw_schedd_events_total") {
+		t.Fatal("metrics snapshot missing schedd counters")
 	}
 	log, err := os.ReadFile(logPath)
 	if err != nil {
@@ -36,7 +44,7 @@ func TestRunWithConfigFile(t *testing.T) {
 	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "", 0, 0, 0, "", "", 48); err != nil {
+	if err := run(cfgPath, "", 0, 0, 0, "", "", 48, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -47,16 +55,16 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if err := os.WriteFile(cfgPath, []byte("nonsense = here\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "", 0, 0, 0, "", "", 48); err == nil {
+	if err := run(cfgPath, "", 0, 0, 0, "", "", 48, ""); err == nil {
 		t.Fatal("bad config accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.cfg"), "", 0, 0, 0, "", "", 48); err == nil {
+	if err := run(filepath.Join(dir, "missing.cfg"), "", 0, 0, 0, "", "", 48, ""); err == nil {
 		t.Fatal("missing config accepted")
 	}
 }
 
 func TestRunRejectsImpossibleHorizon(t *testing.T) {
-	if err := run("", "h", 2000, 121, 1, "", "", 0.01); err == nil {
+	if err := run("", "h", 2000, 121, 1, "", "", 0.01, ""); err == nil {
 		t.Fatal("a 36-second horizon should not finish 2000 waveforms")
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "number of repetitions")
 		csvDir  = flag.String("csv", "", "also write the figure data as CSV into this directory")
 		workers = flag.Int("j", 0, "concurrent simulations (0 = all cores); any value gives byte-identical output")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot here after the experiments")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,10 +49,35 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		opt.Seeds = append(opt.Seeds, uint64(11+13*i))
 	}
+	if *metrics != "" {
+		// One registry shared by every simulated environment: counter
+		// totals are exact at any -j; report/CSV bytes are unchanged.
+		opt.Obs = fdw.NewMetrics(nil)
+		fdw.MeterFactorCache(opt.Obs)
+	}
 	if err := dispatch(flag.Arg(0), opt, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "fdwexp:", err)
 		os.Exit(1)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, opt.Obs); err != nil {
+			fmt.Fprintln(os.Stderr, "fdwexp:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the shared registry as a JSON snapshot.
+func writeMetrics(path string, reg *fdw.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV saves figure data under dir when -csv is set.

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	fdwmon -log run.log [-step 60]
+//	fdwmon -log run.log [-step 60] [-metrics run-metrics.json]
+//
+// With -metrics it also renders the JSON metrics snapshot written by
+// fdw/fdwexp -metrics (counters, gauges, histogram quantiles, spans)
+// alongside the log-derived statistics; -metrics alone is accepted too.
 package main
 
 import (
@@ -21,18 +25,42 @@ import (
 
 func main() {
 	var (
-		logPath = flag.String("log", "", "HTCondor user log to analyze (required)")
-		stepS   = flag.Float64("step", 60, "series sample step (seconds)")
+		logPath     = flag.String("log", "", "HTCondor user log to analyze")
+		stepS       = flag.Float64("step", 60, "series sample step (seconds)")
+		metricsPath = flag.String("metrics", "", "JSON metrics snapshot to render (from fdw/fdwexp -metrics)")
 	)
 	flag.Parse()
-	if *logPath == "" {
+	if *logPath == "" && *metricsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*logPath, *stepS); err != nil {
-		fmt.Fprintln(os.Stderr, "fdwmon:", err)
-		os.Exit(1)
+	if *logPath != "" {
+		if err := run(*logPath, *stepS); err != nil {
+			fmt.Fprintln(os.Stderr, "fdwmon:", err)
+			os.Exit(1)
+		}
 	}
+	if *metricsPath != "" {
+		if err := renderMetrics(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fdwmon:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderMetrics pretty-prints a JSON metrics snapshot.
+func renderMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := fdw.ReadMetricsSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("metrics snapshot %s:\n", path)
+	return snap.WriteText(os.Stdout)
 }
 
 func run(logPath string, stepS float64) error {

@@ -15,6 +15,9 @@
 //
 //	curl localhost:8080/products?type=waveform&min_mw=8
 //	curl localhost:8080/popular?n=3
+//
+// Request counters and catalog gauges are exported in Prometheus text
+// format at /metrics.
 package main
 
 import (
@@ -53,7 +56,7 @@ func main() {
 		Handler:           persisting(fdw.NewCatalogServer(catalog), catalog, *state),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("VDC catalog listening on %s", *addr)
+	log.Printf("VDC catalog listening on %s (metrics at /metrics)", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "vdcd:", err)
 		os.Exit(1)

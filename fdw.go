@@ -32,6 +32,7 @@ import (
 	"fdw/internal/fakequakes"
 	"fdw/internal/geom"
 	"fdw/internal/htcondor"
+	"fdw/internal/obs"
 	"fdw/internal/ospool"
 	"fdw/internal/sim"
 	"fdw/internal/vdc"
@@ -67,6 +68,41 @@ type Env = core.Env
 
 // NewEnv builds an environment with the given seed and pool model.
 func NewEnv(seed uint64, pool PoolConfig) (*Env, error) { return core.NewEnv(seed, pool) }
+
+// Metrics is the sim-clock-aware observability registry (counters,
+// gauges, histograms, job-lifecycle spans). A nil *Metrics disables
+// all instrumentation; either way simulation results are identical.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is the exported state of a Metrics registry — the
+// JSON `-metrics` file format of cmd/fdw and cmd/fdwexp.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty registry. clock may be nil (timestamps
+// all read 0 until SetClock binds a kernel).
+func NewMetrics(clock func() SimTime) *Metrics { return obs.NewRegistry(clock) }
+
+// ReadMetricsSnapshot parses a JSON snapshot written by
+// Metrics.WriteJSON (the `-metrics` dump of cmd/fdw and cmd/fdwexp).
+var ReadMetricsSnapshot = obs.ReadSnapshot
+
+// NewMeteredEnv is NewEnv plus a fresh Metrics registry clocked by the
+// environment's kernel and attached to every subsystem; read it back
+// via Env.Obs.
+func NewMeteredEnv(seed uint64, pool PoolConfig) (*Env, error) {
+	return core.NewMeteredEnv(seed, pool)
+}
+
+// NewEnvWithMetrics builds an environment reporting into an existing
+// registry (e.g. one shared across several environments). reg may be
+// nil, which is NewEnv.
+func NewEnvWithMetrics(seed uint64, pool PoolConfig, reg *Metrics) (*Env, error) {
+	return core.NewEnvObs(seed, pool, reg)
+}
+
+// MeterFactorCache mirrors the covariance factor cache's hit/miss
+// tallies into reg (see GenerateScenario and the fakequakes kernels).
+func MeterFactorCache(reg *Metrics) { fakequakes.DefaultFactorCache.SetObs(reg) }
 
 // Workflow is one FDW run (a DAGMan with its own schedd identity).
 type Workflow = core.Workflow

@@ -16,6 +16,7 @@ import (
 
 	"sort"
 
+	"fdw/internal/obs"
 	"fdw/internal/stats"
 	"fdw/internal/wtrace"
 )
@@ -83,6 +84,11 @@ type Config struct {
 	WaveformVDCSecs  float64
 	CostPerMinute    float64
 	MaxBurstFraction float64
+
+	// Obs, if set, receives per-policy burst decisions, VDC occupancy,
+	// and accumulated cost. The replay itself never reads it, so results
+	// are identical with or without a registry.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's constants with no policies enabled.
@@ -197,6 +203,12 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 		MinInstantJPM:  math.Inf(1),
 	}
 	maxBurst := int(cfg.MaxBurstFraction * float64(len(jobs)))
+
+	burstDecision := func(policy string) {
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("fdw_burst_decisions_total", "batch", batch.Name, "policy", policy).Inc()
+		}
+	}
 
 	vdcSecsFor := func(class wtrace.JobClass) float64 {
 		switch class {
@@ -338,6 +350,7 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 		if cfg.P1 != nil && tick > 0 && math.Mod(tick, cfg.P1.ProbeSecs) == 0 {
 			if stats.InstantThroughput(completed, elapsedMin) < cfg.P1.ThresholdJPM {
 				if st := burstLastUnsubmitted(); st != nil {
+					burstDecision("p1")
 					vdcActiveJobs = append(vdcActiveJobs, st)
 					if st.rec.Finished() {
 						remaining--
@@ -352,6 +365,7 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 					continue // left the queue
 				}
 				if now-st.rec.Submit > cfg.P2.MaxQueueSecs && burstQueued(st) {
+					burstDecision("p2")
 					vdcActiveJobs = append(vdcActiveJobs, st)
 					if st.rec.Finished() {
 						remaining--
@@ -365,6 +379,7 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 		if cfg.P3 != nil && tick > 0 && math.Mod(tick, cfg.P3.ProbeSecs) == 0 {
 			if now-lastSubmitSeen > cfg.P3.MaxGapSecs {
 				if st := burstLastUnsubmitted(); st != nil {
+					burstDecision("p3")
 					vdcActiveJobs = append(vdcActiveJobs, st)
 					if st.rec.Finished() {
 						remaining--
@@ -381,6 +396,7 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 					if st == nil {
 						break
 					}
+					burstDecision("elastic")
 					vdcActiveJobs = append(vdcActiveJobs, st)
 					if st.rec.Finished() {
 						remaining--
@@ -400,6 +416,9 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 		}
 
 		// 6. Termination: every job that can finish has finished.
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge("fdw_burst_vdc_active_jobs", "batch", batch.Name).Set(float64(len(vdcActiveJobs)))
+		}
 		if remaining == 0 && len(vdcActiveJobs) == 0 && si >= len(bySubmit) {
 			endAt = now
 			break
@@ -422,6 +441,12 @@ func Simulate(batch wtrace.BatchRecord, jobs []wtrace.JobRecord, cfg Config) (*R
 		res.VDCUsagePct = float64(res.CompletedVDC) / float64(done) * 100
 	}
 	res.CostUSD = stats.BurstCost(res.VDCMinutes, cfg.CostPerMinute)
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("fdw_burst_jobs_total", "batch", batch.Name, "backend", "osg").Add(uint64(res.CompletedOSG))
+		cfg.Obs.Counter("fdw_burst_jobs_total", "batch", batch.Name, "backend", "vdc").Add(uint64(res.CompletedVDC))
+		cfg.Obs.Gauge("fdw_burst_vdc_minutes", "batch", batch.Name).Set(res.VDCMinutes)
+		cfg.Obs.Gauge("fdw_burst_cost_usd", "batch", batch.Name).Set(res.CostUSD)
+	}
 	return res, nil
 }
 

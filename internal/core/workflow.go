@@ -6,6 +6,7 @@ import (
 
 	"fdw/internal/dagman"
 	"fdw/internal/htcondor"
+	"fdw/internal/obs"
 	"fdw/internal/ospool"
 	"fdw/internal/sim"
 	"fdw/internal/stash"
@@ -71,6 +72,7 @@ func NewWorkflow(cfg Config, k *sim.Kernel, pool *ospool.Pool, logW io.Writer) (
 	}
 	schedd := htcondor.NewSchedd(cfg.Name, k, htcondor.NewUserLog(logW))
 	schedd.MaxIdleSubmit = 1000 // DAGMAN_MAX_JOBS_IDLE default
+	schedd.SetObs(pool.Obs())
 	pool.AddSchedd(schedd)
 	rng := k.RNG().Split(cfg.Seed ^ 0xfd8)
 	w := &Workflow{Cfg: cfg, Schedd: schedd, kernel: k, rng: rng}
@@ -92,6 +94,7 @@ func NewWorkflow(cfg Config, k *sim.Kernel, pool *ospool.Pool, logW io.Writer) (
 	if err != nil {
 		return nil, err
 	}
+	w.Exec.Obs = pool.Obs()
 	return w, nil
 }
 
@@ -125,21 +128,46 @@ type Env struct {
 	Kernel *sim.Kernel
 	Pool   *ospool.Pool
 	Cache  *stash.Cache
+	Obs    *obs.Registry // nil when observability is off
 }
 
 // NewEnv builds a kernel + OSPool + Stash environment with the given
-// seed and pool configuration.
+// seed and pool configuration, without observability.
 func NewEnv(seed uint64, poolCfg ospool.Config) (*Env, error) {
+	return NewEnvObs(seed, poolCfg, nil)
+}
+
+// NewEnvObs is NewEnv with a metrics registry attached to every
+// subsystem (pool, schedds, executors, stash). reg may be shared by
+// several environments — the experiment harness does this across worker
+// goroutines, which keeps counter totals exact but makes no ordering
+// promises for spans. reg == nil means no instrumentation.
+func NewEnvObs(seed uint64, poolCfg ospool.Config, reg *obs.Registry) (*Env, error) {
 	k := sim.NewKernel(seed)
 	cache, err := stash.New(stash.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
+	cache.SetObs(reg)
 	pool, err := ospool.New(k, poolCfg, cache)
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Kernel: k, Pool: pool, Cache: cache}, nil
+	pool.SetObs(reg)
+	return &Env{Kernel: k, Pool: pool, Cache: cache, Obs: reg}, nil
+}
+
+// NewMeteredEnv builds an environment with a fresh registry clocked by
+// the environment's own kernel — the single-run case (cmd/fdw), where
+// every metric timestamp is this simulation's time.
+func NewMeteredEnv(seed uint64, poolCfg ospool.Config) (*Env, error) {
+	reg := obs.NewRegistry(nil)
+	env, err := NewEnvObs(seed, poolCfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	reg.SetClock(env.Kernel.Now)
+	return env, nil
 }
 
 // RunBatch launches the given workflows simultaneously (the paper's

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fdw/internal/htcondor"
+	"fdw/internal/obs"
 	"fdw/internal/sim"
 )
 
@@ -67,7 +68,13 @@ type Executor struct {
 	active   map[string]int // category → active node count
 	finished int
 	failed   int
+	inflight int // nodes currently NodeSubmitted
 	started  bool
+
+	// Obs, if set, receives node-lifecycle metrics (ready/running/done
+	// counts, retries, rescue writes). Purely passive: scheduling
+	// decisions never consult it.
+	Obs *obs.Registry
 
 	StartTime sim.Time
 	EndTime   sim.Time
@@ -113,6 +120,19 @@ func NewExecutor(name string, d *DAG, k *sim.Kernel, schedd *htcondor.Schedd, fa
 
 // Schedd returns the executor's schedd.
 func (e *Executor) Schedd() *htcondor.Schedd { return e.schedd }
+
+// nodeGauges refreshes the node-progress gauges.
+func (e *Executor) nodeGauges() {
+	if e.Obs == nil {
+		return
+	}
+	total := len(e.dag.Order)
+	e.Obs.Gauge("fdw_dagman_nodes_running", "dag", e.Name).Set(float64(e.inflight))
+	e.Obs.Gauge("fdw_dagman_nodes_done", "dag", e.Name).Set(float64(e.finished))
+	e.Obs.Gauge("fdw_dagman_nodes_failed", "dag", e.Name).Set(float64(e.failed))
+	e.Obs.Gauge("fdw_dagman_nodes_pending", "dag", e.Name).
+		Set(float64(total - e.finished - e.failed - e.inflight))
+}
 
 // Start submits every ready root node. Nodes pre-marked DONE are
 // skipped (rescue-DAG semantics).
@@ -216,8 +236,13 @@ func (e *Executor) submitNode(nr *nodeRun) {
 	nr.jobs = jobs
 	nr.remaining = len(jobs)
 	nr.state = NodeSubmitted
+	e.inflight++
 	if cat := nr.node.Category; cat != "" {
 		e.active[cat]++
+	}
+	if e.Obs != nil {
+		e.Obs.Counter("fdw_dagman_node_submissions_total", "dag", e.Name).Inc()
+		e.nodeGauges()
 	}
 }
 
@@ -229,11 +254,18 @@ func (e *Executor) failNode(nr *nodeRun) { e.failNodeAttempted(nr) }
 func (e *Executor) failNodeAttempted(nr *nodeRun) {
 	if nr.attempts <= nr.node.Retry {
 		// Retry: resubmit immediately (DAGMan requeues the node).
+		if e.Obs != nil {
+			e.Obs.Counter("fdw_dagman_retries_total", "dag", e.Name).Inc()
+		}
 		e.submitNode(nr)
 		return
 	}
 	nr.state = NodeFailed
 	e.failed++
+	if e.Obs != nil {
+		e.Obs.Counter("fdw_dagman_node_failures_total", "dag", e.Name).Inc()
+		e.nodeGauges()
+	}
 	e.checkComplete()
 }
 
@@ -254,6 +286,7 @@ func (e *Executor) onJobEvent(j *htcondor.Job, ev htcondor.EventType) {
 			return
 		}
 		// Node finished: all jobs terminated.
+		e.inflight--
 		if cat := nr.node.Category; cat != "" {
 			e.active[cat]--
 		}
@@ -268,6 +301,7 @@ func (e *Executor) onJobEvent(j *htcondor.Job, ev htcondor.EventType) {
 		} else {
 			nr.state = NodeDone
 			e.finished++
+			e.nodeGauges()
 			if e.OnNodeDone != nil {
 				e.OnNodeDone(nr.node)
 			}
@@ -323,6 +357,9 @@ func (e *Executor) anyDispatchable() bool {
 // WriteRescue emits a rescue DAG: the original DAG with completed nodes
 // marked DONE, so a re-run resumes where this one stopped.
 func (e *Executor) WriteRescue(w io.Writer) error {
+	if e.Obs != nil {
+		e.Obs.Counter("fdw_dagman_rescue_writes_total", "dag", e.Name).Inc()
+	}
 	rescue := NewDAG()
 	rescue.Comments = append(rescue.Comments,
 		fmt.Sprintf("rescue DAG for %s: %d/%d nodes done", e.Name, e.finished, len(e.dag.Order)))

@@ -92,7 +92,9 @@ func AblationStash(opt Options) ([]AblationRow, error) {
 		if err != nil {
 			return err
 		}
-		env := &core.Env{Kernel: k, Pool: pool, Cache: cache}
+		cache.SetObs(opt.Obs)
+		pool.SetObs(opt.Obs)
+		env := &core.Env{Kernel: k, Pool: pool, Cache: cache, Obs: opt.Obs}
 		cfg := core.DefaultConfig()
 		cfg.Waveforms = n
 		cfg.Name = "ablate-stash"
@@ -180,6 +182,7 @@ func Policy3Sweep(opt Options) ([]Policy3Row, error) {
 	err = forEachIndex(opt.workers(), len(rows), func(i int) error {
 		bi, gapMin := i/len(gaps), gaps[i%len(gaps)]
 		cfg := burst.DefaultConfig()
+		cfg.Obs = opt.Obs
 		cfg.P3 = &burst.Policy3{MaxGapSecs: gapMin * 60, ProbeSecs: 30}
 		res, err := burst.Simulate(batches[bi], jobs[bi], cfg)
 		if err != nil {
@@ -230,11 +233,13 @@ func ElasticComparison(opt Options) ([]ElasticRow, error) {
 	}{
 		{"policy-1", func() burst.Config {
 			c := burst.DefaultConfig()
+			c.Obs = opt.Obs
 			c.P1 = &burst.Policy1{ProbeSecs: 30, ThresholdJPM: Fig5Threshold}
 			return c
 		}()},
 		{"elastic", func() burst.Config {
 			c := burst.DefaultConfig()
+			c.Obs = opt.Obs
 			c.Elastic = &burst.ElasticPolicy{TargetJPM: Fig5Threshold, ProbeSecs: 30, MaxPerProbe: 8}
 			return c
 		}()},
@@ -299,7 +304,9 @@ func AblationChurn(opt Options) ([]AblationRow, error) {
 		if err != nil {
 			return err
 		}
-		env := &core.Env{Kernel: k, Pool: pl, Cache: cache}
+		cache.SetObs(opt.Obs)
+		pl.SetObs(opt.Obs)
+		env := &core.Env{Kernel: k, Pool: pl, Cache: cache, Obs: opt.Obs}
 		cfg := core.DefaultConfig()
 		cfg.Waveforms = n
 		cfg.Name = "ablate-churn"

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"fdw/internal/core"
+	"fdw/internal/obs"
 	"fdw/internal/ospool"
 	"fdw/internal/sim"
 	"fdw/internal/stats"
@@ -34,6 +35,12 @@ type Options struct {
 	// value produces byte-identical reports; non-positive means
 	// GOMAXPROCS.
 	Workers int
+	// Obs, if set, is attached to every simulated environment. The
+	// registry is shared across worker goroutines: counter totals are
+	// exact at any Workers value, and reports/CSVs stay byte-identical
+	// with Obs on or off (instrumentation is strictly passive). nil
+	// disables metrics.
+	Obs *obs.Registry
 }
 
 // DefaultOptions mirrors the paper: three repetitions at full scale.
@@ -78,7 +85,7 @@ func (o Options) scaleN(n int) int {
 // runOne executes a single FDW workflow and returns (runtime hours,
 // throughput JPM, completed jobs).
 func runOne(opt Options, cfg core.Config, seed uint64) (float64, float64, int, error) {
-	env, err := core.NewEnv(seed, opt.Pool)
+	env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -226,7 +233,7 @@ func Fig3(opt Options) ([]Fig3Row, error) {
 	err := forEachIndex(opt.workers(), len(results), func(t int) error {
 		n, seed := Fig3Concurrency[t/reps], opt.Seeds[t%reps]
 		each := total / n
-		env, err := core.NewEnv(seed, opt.Pool)
+		env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 		if err != nil {
 			return err
 		}

@@ -48,7 +48,7 @@ func Fig4(opt Options) ([]Fig4Data, error) {
 	out := make([]Fig4Data, len(Fig3Concurrency))
 	err := forEachIndex(opt.workers(), len(Fig3Concurrency), func(li int) error {
 		n := Fig3Concurrency[li]
-		env, err := core.NewEnv(seed, opt.Pool)
+		env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 		if err != nil {
 			return err
 		}

@@ -47,7 +47,7 @@ func MakeBatchTraces(opt Options) (batches []wtrace.BatchRecord, jobs [][]wtrace
 	batches = make([]wtrace.BatchRecord, len(seeds))
 	jobs = make([][]wtrace.JobRecord, len(seeds))
 	err = forEachIndex(opt.workers(), len(seeds), func(i int) error {
-		env, err := core.NewEnv(seeds[i], opt.Pool)
+		env, err := core.NewEnvObs(seeds[i], opt.Pool, opt.Obs)
 		if err != nil {
 			return err
 		}
@@ -121,6 +121,7 @@ func Fig5FromTraces(opt Options, batches []wtrace.BatchRecord, jobs [][]wtrace.J
 		s := specs[i]
 		batch := batches[s.bi]
 		cfg := burst.DefaultConfig()
+		cfg.Obs = opt.Obs
 		cfg.MaxBurstFraction = maxBurstFraction
 		if !s.control {
 			cfg.P1 = &burst.Policy1{ProbeSecs: s.probe, ThresholdJPM: Fig5Threshold}

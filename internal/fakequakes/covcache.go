@@ -10,6 +10,7 @@ import (
 
 	"fdw/internal/geom"
 	"fdw/internal/linalg"
+	"fdw/internal/obs"
 )
 
 // FactorCache memoizes Cholesky factors of the slip covariance. It
@@ -36,6 +37,8 @@ type FactorCache struct {
 	lru     list.List // front = most recently used; values are *factorEntry
 	hits    uint64
 	misses  uint64
+
+	obs *obs.Registry
 }
 
 type factorEntry struct {
@@ -61,6 +64,14 @@ func NewFactorCache(capacity int) *FactorCache {
 	return &FactorCache{cap: capacity, entries: make(map[uint64]*list.Element)}
 }
 
+// SetObs mirrors the cache's hit/miss/eviction tallies into a metrics
+// registry (nil disables). Lookup behaviour is unchanged either way.
+func (c *FactorCache) SetObs(r *obs.Registry) {
+	c.mu.Lock()
+	c.obs = r
+	c.mu.Unlock()
+}
+
 // Get returns the factor stored under key, marking it most recently
 // used. The second result reports whether the key was present.
 func (c *FactorCache) Get(key uint64) (*linalg.Matrix, bool) {
@@ -69,9 +80,15 @@ func (c *FactorCache) Get(key uint64) (*linalg.Matrix, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
+		if c.obs != nil {
+			c.obs.Counter("fdw_covcache_hits_total").Inc()
+		}
 		return el.Value.(*factorEntry).l, true
 	}
 	c.misses++
+	if c.obs != nil {
+		c.obs.Counter("fdw_covcache_misses_total").Inc()
+	}
 	return nil, false
 }
 
@@ -90,6 +107,12 @@ func (c *FactorCache) Put(key uint64, l *linalg.Matrix) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*factorEntry).key)
+		if c.obs != nil {
+			c.obs.Counter("fdw_covcache_evictions_total").Inc()
+		}
+	}
+	if c.obs != nil {
+		c.obs.Gauge("fdw_covcache_entries").Set(float64(c.lru.Len()))
 	}
 }
 

@@ -3,6 +3,7 @@ package htcondor
 import (
 	"fmt"
 
+	"fdw/internal/obs"
 	"fdw/internal/sim"
 )
 
@@ -32,6 +33,9 @@ type Schedd struct {
 
 	completed int
 	removed   int
+
+	obs   *obs.Registry
+	spans map[*Job]*obs.Span
 }
 
 // NewSchedd returns a schedd writing events to log (log may be nil).
@@ -44,6 +48,30 @@ func NewSchedd(name string, k *sim.Kernel, log *UserLog) *Schedd {
 
 // Log exposes the schedd's user log.
 func (s *Schedd) Log() *UserLog { return s.log }
+
+// SetObs attaches a metrics registry (nil is fine: all instrumentation
+// becomes no-ops). Observability only records transitions the schedd
+// already made — it never influences scheduling.
+func (s *Schedd) SetObs(r *obs.Registry) {
+	s.obs = r
+	if r != nil && s.spans == nil {
+		s.spans = map[*Job]*obs.Span{}
+	}
+}
+
+// JobSpan returns the lifecycle span opened for a submitted job (nil if
+// observability is off or the job predates SetObs). The pool uses it to
+// annotate transfer/execute stages it alone knows the durations of.
+func (s *Schedd) JobSpan(j *Job) *obs.Span { return s.spans[j] }
+
+// queueGauges refreshes the queue-depth gauges after any queue change.
+func (s *Schedd) queueGauges() {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Gauge("fdw_schedd_idle_jobs", "schedd", s.Name).Set(float64(len(s.idle)))
+	s.obs.Gauge("fdw_schedd_staged_jobs", "schedd", s.Name).Set(float64(len(s.staged)))
+}
 
 // Subscribe registers a listener for job state transitions.
 func (s *Schedd) Subscribe(fn Listener) { s.listeners = append(s.listeners, fn) }
@@ -86,9 +114,15 @@ func (s *Schedd) pump() {
 		s.staged = s.staged[1:]
 		j.SubmitTime = s.kernel.Now()
 		s.idle = append(s.idle, j)
+		if s.obs != nil {
+			sp := s.obs.StartSpan("job", j.ID())
+			sp.Annotate("submit")
+			s.spans[j] = sp
+		}
 		s.appendEvent(j, EventSubmit, s.Name)
 		s.notify(j, EventSubmit)
 	}
+	s.queueGauges()
 }
 
 // StagedCount returns jobs accepted but not yet submitted — the
@@ -105,10 +139,17 @@ func (s *Schedd) PopStaged() *Job {
 	s.staged = s.staged[:len(s.staged)-1]
 	j.Status = Removed
 	s.removed++
+	if s.obs != nil {
+		s.obs.Counter("fdw_schedd_offloaded_total", "schedd", s.Name).Inc()
+		s.queueGauges()
+	}
 	return j
 }
 
 func (s *Schedd) appendEvent(j *Job, t EventType, host string) {
+	if s.obs != nil {
+		s.obs.Counter("fdw_schedd_events_total", "schedd", s.Name, "type", t.String()).Inc()
+	}
 	_ = s.log.Append(JobEvent{
 		Type:    t,
 		Cluster: j.Cluster,
@@ -169,6 +210,12 @@ func (s *Schedd) MarkRunning(j *Job, host string) error {
 	j.Status = Running
 	j.StartTime = s.kernel.Now()
 	j.Site = host
+	if s.obs != nil {
+		s.spans[j].Annotate("match")
+		s.obs.Histogram("fdw_schedd_wait_seconds", "schedd", s.Name).
+			Observe(float64(j.StartTime - j.SubmitTime))
+		s.queueGauges()
+	}
 	s.appendEvent(j, EventExecute, host)
 	s.notify(j, EventExecute)
 	return nil
@@ -183,6 +230,14 @@ func (s *Schedd) MarkCompleted(j *Job, exitCode int) error {
 	j.EndTime = s.kernel.Now()
 	j.ExitCode = exitCode
 	s.completed++
+	if s.obs != nil {
+		s.obs.Histogram("fdw_schedd_exec_seconds", "schedd", s.Name).
+			Observe(float64(j.EndTime - j.StartTime))
+		if sp := s.spans[j]; sp != nil {
+			sp.End("completed")
+			delete(s.spans, j)
+		}
+	}
 	s.appendEvent(j, EventTerminated, j.Site)
 	s.pump()
 	s.notify(j, EventTerminated)
@@ -199,6 +254,10 @@ func (s *Schedd) MarkEvicted(j *Job) error {
 	j.Evictions++
 	j.Site = ""
 	s.idle = append(s.idle, j)
+	if s.obs != nil {
+		s.spans[j].Annotate("evicted")
+		s.queueGauges()
+	}
 	s.appendEvent(j, EventEvicted, "")
 	s.notify(j, EventEvicted)
 	return nil
@@ -221,6 +280,10 @@ func (s *Schedd) Remove(j *Job) error {
 	j.Status = Removed
 	j.EndTime = s.kernel.Now()
 	s.removed++
+	if sp := s.spans[j]; sp != nil {
+		sp.End("removed")
+		delete(s.spans, j)
+	}
 	s.appendEvent(j, EventAborted, "")
 	s.pump()
 	s.notify(j, EventAborted)

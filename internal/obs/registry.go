@@ -1,0 +1,405 @@
+// Package obs is FDW's simulation-clock-aware observability layer: a
+// metrics registry (counters, gauges, histograms) and lightweight
+// job-lifecycle spans, all timestamped by sim.Time rather than
+// wall-clock, with Prometheus text and JSON snapshot exporters.
+//
+// The layer obeys one hard rule (DESIGN.md §7/§8): instrumentation
+// must never perturb results. Nothing in this package draws from the
+// simulation RNG, schedules events, or feeds values back into model
+// decisions — a registry only records what deterministic code already
+// did, so every figure and CSV is byte-identical with metrics enabled
+// or disabled (asserted by TestFiguresIdenticalWithMetricsEnabled).
+//
+// A nil *Registry is a valid no-op sink: every method on a nil
+// registry returns a shared inert instrument, so instrumented
+// subsystems call r.Counter(...).Inc() unconditionally and pay only a
+// map-free fast path when observability is off.
+//
+// The registry is safe for concurrent use — the DES itself is
+// single-goroutine, but the experiment harness fans independent
+// simulations over worker goroutines that may share one registry.
+// Integer counters commute, so their totals are deterministic for any
+// worker count; histogram float sums and span ordering are only
+// guaranteed reproducible for single-environment runs (cmd/fdw).
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"fdw/internal/sim"
+)
+
+// Clock reports the current simulated time. A nil Clock timestamps
+// everything at 0 (useful for wall-clock-free contexts like the VDC
+// HTTP portal, where only the values matter).
+type Clock func() sim.Time
+
+// DefaultSpanLimit bounds retained spans per registry; a 16k-waveform
+// FDW batch is ~9k jobs, so one workflow's lifecycle fits. Spans past
+// the limit are counted (SpansDropped) but not stored.
+const DefaultSpanLimit = 16384
+
+// Registry holds the instruments of one observed run.
+type Registry struct {
+	clock Clock
+
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	spans        []*Span
+	spanLimit    int
+	spansDropped uint64
+}
+
+// NewRegistry returns an empty registry timestamped by clock (nil =
+// always sim.Time 0).
+func NewRegistry(clock Clock) *Registry {
+	return &Registry{
+		clock:     clock,
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		spanLimit: DefaultSpanLimit,
+	}
+}
+
+// SetClock rebinds the registry's simulation clock; the zero of a new
+// environment typically calls this before any events run.
+func (r *Registry) SetClock(clock Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// SetSpanLimit bounds retained spans (0 disables span retention;
+// creations past the limit only increment SpansDropped).
+func (r *Registry) SetSpanLimit(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spanLimit = n
+	r.mu.Unlock()
+}
+
+// now reads the clock under the registry lock (callers hold r.mu).
+func (r *Registry) nowLocked() sim.Time {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Now returns the registry's current simulated time (0 for a nil
+// registry or nil clock).
+func (r *Registry) Now() sim.Time {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nowLocked()
+}
+
+// labelPairs converts alternating key/value arguments into sorted
+// pairs; an odd trailing key is dropped.
+func labelPairs(kv []string) [][2]string {
+	n := len(kv) / 2
+	if n == 0 {
+		return nil
+	}
+	pairs := make([][2]string, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+	return pairs
+}
+
+// metricKey renders the canonical identity of a metric: its name plus
+// the sorted label set, in Prometheus exposition syntax.
+func metricKey(name string, pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return name
+	}
+	out := name + "{"
+	for i, p := range pairs {
+		if i > 0 {
+			out += ","
+		}
+		out += p[0] + `="` + p[1] + `"`
+	}
+	return out + "}"
+}
+
+// Counter is a monotonically increasing integer metric. Integer
+// arithmetic commutes, so counter totals are deterministic even when
+// concurrent environments share a registry.
+type Counter struct {
+	r     *Registry // nil for the shared no-op instance
+	name  string
+	pairs [][2]string
+
+	v  uint64
+	at sim.Time
+}
+
+var nopCounter = &Counter{}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string, labelKV ...string) *Counter {
+	if r == nil {
+		return nopCounter
+	}
+	pairs := labelPairs(labelKV)
+	key := metricKey(name, pairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{r: r, name: name, pairs: pairs}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c.r == nil {
+		return
+	}
+	c.r.mu.Lock()
+	c.v += n
+	c.at = c.r.nowLocked()
+	c.r.mu.Unlock()
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c.r == nil {
+		return 0
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a point-in-time value with its last-update sim.Time.
+type Gauge struct {
+	r     *Registry
+	name  string
+	pairs [][2]string
+
+	v  float64
+	at sim.Time
+}
+
+var nopGauge = &Gauge{}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string, labelKV ...string) *Gauge {
+	if r == nil {
+		return nopGauge
+	}
+	pairs := labelPairs(labelKV)
+	key := metricKey(name, pairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{r: r, name: name, pairs: pairs}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Set stores v, stamped with the current simulated time.
+func (g *Gauge) Set(v float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.v = v
+	g.at = g.r.nowLocked()
+	g.r.mu.Unlock()
+}
+
+// Add offsets the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.v += delta
+	g.at = g.r.nowLocked()
+	g.r.mu.Unlock()
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g.r == nil {
+		return 0
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.v
+}
+
+// At returns the sim.Time of the last Set/Add.
+func (g *Gauge) At() sim.Time {
+	if g.r == nil {
+		return 0
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.at
+}
+
+// DefaultBuckets covers the durations FDW observes — sub-second cache
+// probes up to multi-day batch horizons (upper bounds in seconds).
+var DefaultBuckets = []float64{
+	0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30,
+	60, 120, 300, 600, 1800, 3600, 7200, 14400, 43200, 86400, 259200,
+}
+
+// Histogram accumulates observations into fixed buckets plus exact
+// count/sum/min/max, supporting quantile estimates from the buckets.
+type Histogram struct {
+	r     *Registry
+	name  string
+	pairs [][2]string
+
+	bounds   []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts   []uint64  // len(bounds)+1
+	count    uint64
+	sum      float64
+	min, max float64
+	at       sim.Time
+}
+
+var nopHistogram = &Histogram{}
+
+// Histogram returns (registering on first use) the named histogram
+// with DefaultBuckets.
+func (r *Registry) Histogram(name string, labelKV ...string) *Histogram {
+	return r.HistogramBuckets(name, DefaultBuckets, labelKV...)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the
+// given ascending upper bounds on first use (later calls keep the
+// original bounds).
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labelKV ...string) *Histogram {
+	if r == nil {
+		return nopHistogram
+	}
+	pairs := labelPairs(labelKV)
+	key := metricKey(name, pairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{r: r, name: name, pairs: pairs, bounds: b, counts: make([]uint64, len(b)+1)}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.r == nil {
+		return
+	}
+	h.r.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.at = h.r.nowLocked()
+	h.r.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h.r == nil {
+		return 0
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h.r == nil {
+		return 0
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the bucket containing it, clamped to the observed [min, max].
+// It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.r == nil {
+		return 0
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}

@@ -1,0 +1,150 @@
+package obs
+
+import "fdw/internal/sim"
+
+// Span is one job's lifecycle trace: a start time, a sequence of named
+// stage events (submit → match → input transfer → execute →
+// complete/evict), and a terminal status. Spans are append-only and
+// timestamped by the registry's simulation clock unless an explicit
+// time is supplied.
+type Span struct {
+	r    *Registry // nil for spans dropped past the retention limit
+	kind string
+	id   string
+
+	start  sim.Time
+	end    sim.Time
+	status string
+	ended  bool
+	events []SpanEvent
+}
+
+// SpanEvent is one stage marker inside a span. Value carries an
+// optional stage measurement (e.g. input-transfer seconds); NaN-free
+// zero means "no value".
+type SpanEvent struct {
+	Name  string   `json:"name"`
+	At    sim.Time `json:"at"`
+	Value float64  `json:"value,omitempty"`
+}
+
+// StartSpan opens a span of the given kind and identity, stamped with
+// the current simulated time. On a nil registry — or past the span
+// retention limit — it returns a no-op span (never nil, so callers
+// chain unconditionally); dropped spans are tallied in SpansDropped.
+func (r *Registry) StartSpan(kind, id string) *Span {
+	if r == nil {
+		return &Span{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.spanLimit {
+		r.spansDropped++
+		return &Span{}
+	}
+	s := &Span{r: r, kind: kind, id: id, start: r.nowLocked()}
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// Annotate appends a stage event at the current simulated time.
+func (s *Span) Annotate(name string) {
+	if s == nil || s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	s.events = append(s.events, SpanEvent{Name: name, At: s.r.nowLocked()})
+	s.r.mu.Unlock()
+}
+
+// AnnotateAt appends a stage event with an explicit timestamp and
+// optional measurement (the transfer model knows stage durations ahead
+// of the completion event, so at may lie in the simulated future).
+func (s *Span) AnnotateAt(name string, at sim.Time, value float64) {
+	if s == nil || s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	s.events = append(s.events, SpanEvent{Name: name, At: at, Value: value})
+	s.r.mu.Unlock()
+}
+
+// End closes the span with a terminal status at the current simulated
+// time. Ending twice keeps the first closure.
+func (s *Span) End(status string) {
+	if s == nil || s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.r.nowLocked()
+		s.status = status
+	}
+	s.r.mu.Unlock()
+}
+
+// Events returns a copy of the span's stage events.
+func (s *Span) Events() []SpanEvent {
+	if s == nil || s.r == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	out := make([]SpanEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	if s == nil || s.r == nil {
+		return false
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	return s.ended
+}
+
+// Status returns the terminal status ("" while open).
+func (s *Span) Status() string {
+	if s == nil || s.r == nil {
+		return ""
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	return s.status
+}
+
+// DurationSeconds returns end-start for ended spans, else 0.
+func (s *Span) DurationSeconds() float64 {
+	if s == nil || s.r == nil {
+		return 0
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return float64(s.end - s.start)
+}
+
+// SpanCount returns the number of retained spans.
+func (r *Registry) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// SpansDropped returns how many spans were discarded past the limit.
+func (r *Registry) SpansDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spansDropped
+}

@@ -15,6 +15,7 @@ import (
 
 	"fdw/internal/classad"
 	"fdw/internal/htcondor"
+	"fdw/internal/obs"
 	"fdw/internal/sim"
 	"fdw/internal/stash"
 )
@@ -149,6 +150,8 @@ type Pool struct {
 	started   int
 	completed int
 	evictions int
+
+	obs *obs.Registry
 }
 
 // New creates a pool bound to a kernel. cache may be nil (transfers
@@ -170,6 +173,24 @@ func New(k *sim.Kernel, cfg Config, cache *stash.Cache) (*Pool, error) {
 
 // AddSchedd registers a submitter with the pool.
 func (p *Pool) AddSchedd(s *htcondor.Schedd) { p.schedds = append(p.schedds, s) }
+
+// SetObs attaches a metrics registry (nil disables instrumentation).
+// The registry only records pool dynamics — provisioning, matching, and
+// preemption decisions never read from it.
+func (p *Pool) SetObs(r *obs.Registry) { p.obs = r }
+
+// Obs returns the attached registry (nil when observability is off).
+func (p *Pool) Obs() *obs.Registry { return p.obs }
+
+// slotGauges refreshes live/busy slot occupancy after pool changes.
+func (p *Pool) slotGauges() {
+	if p.obs == nil {
+		return
+	}
+	p.obs.Gauge("fdw_ospool_slots_live").Set(float64(len(p.glideins)))
+	p.obs.Gauge("fdw_ospool_slots_busy").Set(float64(p.RunningCount()))
+	p.obs.Gauge("fdw_ospool_glideins_pending").Set(float64(p.pending))
+}
 
 // Start arms the provisioning and negotiation tickers.
 func (p *Pool) Start() {
@@ -243,15 +264,25 @@ func (p *Pool) provision() {
 		switch {
 		case g.job == nil && now >= g.expire:
 			g.retired = true
+			if p.obs != nil {
+				p.obs.Counter("fdw_ospool_glideins_retired_total", "reason", "expired").Inc()
+			}
 		case g.job == nil && p.cfg.GlideinIdleTimeout > 0 && now-g.idleAt > p.cfg.GlideinIdleTimeout:
 			g.retired = true
+			if p.obs != nil {
+				p.obs.Counter("fdw_ospool_glideins_retired_total", "reason", "idle").Inc()
+			}
 		default:
 			live = append(live, g)
 		}
 	}
 	p.glideins = live
+	p.slotGauges()
 
 	capacity := int(float64(p.cfg.TotalSlots()) * p.availability(now))
+	if p.obs != nil {
+		p.obs.Gauge("fdw_ospool_capacity_slots").Set(float64(capacity))
+	}
 	desired := p.demand()
 	if desired > capacity {
 		desired = capacity
@@ -274,6 +305,9 @@ func (p *Pool) provision() {
 			break
 		}
 		p.pending++
+		if p.obs != nil {
+			p.obs.Counter("fdw_ospool_glideins_requested_total", "site", site.Name).Inc()
+		}
 		delay := sim.Time(p.rng.Exp(float64(p.cfg.GlideinRampMean)))
 		if delay < 30 {
 			delay = 30
@@ -337,6 +371,10 @@ func (p *Pool) glideinArrives(site *SiteConfig) {
 	}
 	p.nextID++
 	p.glideins = append(p.glideins, g)
+	if p.obs != nil {
+		p.obs.Counter("fdw_ospool_glideins_arrived_total", "site", site.Name).Inc()
+		p.slotGauges()
+	}
 	// Pilot lifetime: if still running a job at expiry, the job is
 	// preempted (evicted) and returns to the queue.
 	p.kernel.At(g.expire, func() { p.expireGlidein(g) })
@@ -354,6 +392,9 @@ func (p *Pool) expireGlidein(g *glidein) {
 		job, schedd := g.job, g.schedd
 		g.job, g.schedd, g.done = nil, nil, nil
 		p.evictions++
+		if p.obs != nil {
+			p.obs.Counter("fdw_ospool_preemptions_total", "site", g.site.Name).Inc()
+		}
 		_ = schedd.MarkEvicted(job)
 	}
 	for i, o := range p.glideins {
@@ -362,6 +403,7 @@ func (p *Pool) expireGlidein(g *glidein) {
 			break
 		}
 	}
+	p.slotGauges()
 }
 
 // ownerState aggregates fair-share accounting per owner.
@@ -396,6 +438,9 @@ func (os *ownerState) mergeInterleaved() {
 func (p *Pool) negotiate() {
 	if p.stopped {
 		return
+	}
+	if p.obs != nil {
+		p.obs.Counter("fdw_ospool_negotiation_cycles_total").Inc()
 	}
 	// Build per-owner queues from all schedds.
 	owners := map[string]*ownerState{}
@@ -480,6 +525,10 @@ func (p *Pool) negotiate() {
 			break
 		}
 	}
+	if p.obs != nil && matches > 0 {
+		p.obs.Counter("fdw_ospool_matches_total").Add(uint64(matches))
+		p.slotGauges()
+	}
 }
 
 // claim starts job on glidein g: input transfer, execution, output.
@@ -516,6 +565,16 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 	if p.cfg.FailureProb > 0 && p.rng.Bool(p.cfg.FailureProb) {
 		exitCode = 1
 	}
+	if p.obs != nil {
+		now := p.kernel.Now()
+		if transferIn > 0 {
+			p.obs.Histogram("fdw_ospool_transfer_in_seconds").Observe(transferIn)
+		}
+		if sp := schedd.JobSpan(job); sp != nil {
+			sp.AnnotateAt("input_transfer", now, transferIn)
+			sp.AnnotateAt("execute", now+sim.Time(transferIn), exec)
+		}
+	}
 	total := sim.Time(transferIn + exec + transferOut)
 	g.done = p.kernel.After(total, func() {
 		g.done = nil
@@ -529,11 +588,15 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 			// re-queues instead of terminating the job.
 			job.Failures++
 			p.evictions++
+			if p.obs != nil {
+				p.obs.Counter("fdw_ospool_job_retries_total").Inc()
+			}
 			_ = schedd.MarkEvicted(job)
 			return
 		}
 		p.completed++
 		_ = schedd.MarkCompleted(job, exitCode)
+		p.slotGauges()
 	})
 }
 

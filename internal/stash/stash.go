@@ -8,6 +8,8 @@ package stash
 import (
 	"fmt"
 	"sync"
+
+	"fdw/internal/obs"
 )
 
 // Object identifies a cached artifact.
@@ -49,6 +51,8 @@ type Cache struct {
 	warm map[string]map[string]bool // site → key → cached
 	hits int
 	miss int
+
+	obs *obs.Registry
 }
 
 // New returns an empty cache with the given configuration.
@@ -57,6 +61,15 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	return &Cache{cfg: cfg, warm: map[string]map[string]bool{}}, nil
+}
+
+// SetObs attaches a metrics registry (nil disables instrumentation).
+// Transfer costs are computed exactly as before; the registry only
+// mirrors the hit/miss/bytes tallies.
+func (c *Cache) SetObs(r *obs.Registry) {
+	c.mu.Lock()
+	c.obs = r
+	c.mu.Unlock()
 }
 
 // TransferSeconds returns the time to deliver obj to site and records
@@ -74,12 +87,22 @@ func (c *Cache) TransferSeconds(site string, obj Object) float64 {
 		c.warm[site] = siteMap
 	}
 	bps := c.cfg.OriginBps
+	tier := "origin"
 	if siteMap[obj.Key] {
 		bps = c.cfg.CacheBps
+		tier = "cache"
 		c.hits++
 	} else {
 		c.miss++
 		siteMap[obj.Key] = true
+	}
+	if c.obs != nil {
+		if tier == "cache" {
+			c.obs.Counter("fdw_stash_hits_total").Inc()
+		} else {
+			c.obs.Counter("fdw_stash_misses_total").Inc()
+		}
+		c.obs.Counter("fdw_stash_bytes_total", "tier", tier).Add(uint64(obj.Bytes))
 	}
 	return c.cfg.LatencyS + float64(obj.Bytes)/bps
 }

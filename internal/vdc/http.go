@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"fdw/internal/obs"
 )
 
 // Server exposes a Catalog over HTTP — the VDC portal API surface:
@@ -19,23 +21,60 @@ import (
 //	DELETE /products/{id}       remove
 //	POST   /products/{id}/tags  add tags (JSON array of strings)
 //	GET    /popular?n=N         prefetch hints
+//	GET    /metrics             Prometheus text exposition
 type Server struct {
 	catalog *Catalog
 	mux     *http.ServeMux
+	obs     *obs.Registry
 }
 
-// NewServer wraps catalog in an HTTP handler.
+// NewServer wraps catalog in an HTTP handler with its own metrics
+// registry (the portal has no simulation clock, so metric timestamps
+// read 0; only the values matter).
 func NewServer(catalog *Catalog) *Server {
-	s := &Server{catalog: catalog, mux: http.NewServeMux()}
+	s := &Server{catalog: catalog, mux: http.NewServeMux(), obs: obs.NewRegistry(nil)}
 	s.mux.HandleFunc("/products", s.handleProducts)
 	s.mux.HandleFunc("/products/", s.handleProduct)
 	s.mux.HandleFunc("/popular", s.handlePopular)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// Registry exposes the server's metrics registry (e.g. for cmd/vdcd to
+// record startup gauges).
+func (s *Server) Registry() *obs.Registry { return s.obs }
+
+// statusRecorder captures the response status for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	route := r.URL.Path
+	if strings.HasPrefix(route, "/products/") {
+		route = "/products/{id}" // collapse ids to keep label cardinality bounded
+	}
+	s.obs.Counter("vdc_http_requests_total",
+		"method", r.Method, "route", route, "status", strconv.Itoa(rec.status)).Inc()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("vdc: method %s not allowed", r.Method))
+		return
+	}
+	s.obs.Gauge("vdc_catalog_products").Set(float64(s.catalog.Len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,6 +2,7 @@ package vdc
 
 import (
 	"bytes"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -206,9 +207,15 @@ func TestHTTPErrors(t *testing.T) {
 		{"GET", "/products?max_mw=low", "", http.StatusBadRequest},
 		{"POST", "/popular", "", http.StatusMethodNotAllowed},
 		{"GET", "/popular?n=-2", "", http.StatusBadRequest},
+		{"GET", "/popular?n=notanumber", "", http.StatusBadRequest},
+		{"GET", "/products/", "", http.StatusBadRequest},
 		{"GET", "/products/x/y/z", "", http.StatusNotFound},
 		{"GET", "/products/x/tags", "", http.StatusMethodNotAllowed},
 		{"POST", "/products/x/tags", "[1,2]", http.StatusBadRequest},
+		{"DELETE", "/products/x/tags", "", http.StatusMethodNotAllowed},
+		{"POST", "/products/x/tags", "{not json", http.StatusBadRequest},
+		{"PUT", "/products/x", "", http.StatusMethodNotAllowed},
+		{"POST", "/metrics", "", http.StatusMethodNotAllowed},
 	} {
 		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
 		if err != nil {
@@ -222,6 +229,62 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != tc.wantStatus {
 			t.Fatalf("%s %s → %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
 		}
+	}
+}
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	s := NewServer(NewCatalog())
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	if _, err := cl.Deposit(Product{Name: "wf", Type: TypeWaveform, Mw: 8.0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get("vdc-000404"); err == nil {
+		t.Fatal("missing product returned")
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics → %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE vdc_http_requests_total counter",
+		`vdc_http_requests_total{method="POST",route="/products",status="201"} 1`,
+		`vdc_http_requests_total{method="GET",route="/products/{id}",status="404"} 1`,
+		"vdc_catalog_products 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(text, "vdc-000404") {
+		t.Error("product ids leaked into metric labels")
+	}
+
+	// The registry accessor exposes the same counters programmatically.
+	snap := s.Registry().Snapshot()
+	var total uint64
+	for _, c := range snap.Counters {
+		if c.Name == "vdc_http_requests_total" {
+			total += c.Value
+		}
+	}
+	if total < 2 {
+		t.Fatalf("request counter total %d, want >= 2", total)
 	}
 }
 

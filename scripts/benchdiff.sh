@@ -1,0 +1,80 @@
+#!/bin/sh
+# Benchmark regression gate: reruns the kernel benchmarks and compares
+# ns/op against the recorded baseline in BENCH_kernels.json. Absolute
+# numbers vary wildly across hosts, so only a >TOLERANCE-fold slowdown
+# on a benchmark the baseline knows about fails; new benchmarks and
+# speedups are reported but never fatal. CI runs this as a separate
+# advisory (non-required) job.
+#
+# Environment knobs:
+#
+#	BASELINE   baseline file        (default BENCH_kernels.json)
+#	TOLERANCE  allowed slowdown     (default 2.0)
+#	BENCHTIME  go test -benchtime   (default 2x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-BENCH_kernels.json}
+TOLERANCE=${TOLERANCE:-2.0}
+BENCHTIME=${BENCHTIME:-2x}
+
+if [ ! -f "$BASELINE" ]; then
+	echo "benchdiff: baseline $BASELINE not found" >&2
+	exit 1
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== go test -bench (benchtime $BENCHTIME, baseline $BASELINE, tolerance ${TOLERANCE}x)"
+go test -run '^$' -bench 'BenchmarkCholesky|BenchmarkMatMul|BenchmarkGenerateScenario' \
+	-benchtime "$BENCHTIME" . | tee "$out"
+
+echo
+awk -v tol="$TOLERANCE" '
+	# Pass 1: the baseline JSON. ns_per_op entries look like
+	#   "BenchmarkCholesky/serial/256": 2240650,
+	# and benchmark names never appear elsewhere in the file.
+	FNR == NR {
+		if ($0 ~ /"Benchmark[^"]*":/) {
+			name = $0
+			sub(/^[ \t]*"/, "", name)
+			sub(/".*$/, "", name)
+			val = $0
+			sub(/^[^:]*:[ \t]*/, "", val)
+			sub(/,.*$/, "", val)
+			base[name] = val + 0
+		}
+		next
+	}
+	# Pass 2: go test -bench output. Result lines carry the GOMAXPROCS
+	# suffix (Benchmark.../256-4) and ns/op in the field before "ns/op".
+	$1 ~ /^Benchmark/ {
+		ns = -1
+		for (i = 2; i <= NF; i++)
+			if ($i == "ns/op") ns = $(i - 1) + 0
+		if (ns < 0) next
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (!(name in base)) {
+			printf "  NEW       %-44s %14.0f ns/op (no baseline)\n", name, ns
+			next
+		}
+		ratio = ns / base[name]
+		verdict = "ok"
+		if (ratio > tol) {
+			verdict = "REGRESSED"
+			failed++
+		}
+		printf "  %-9s %-44s %14.0f ns/op  baseline %14.0f  ratio %.2fx\n", \
+			verdict, name, ns, base[name], ratio
+	}
+	END {
+		if (failed) {
+			printf "benchdiff: %d benchmark(s) regressed more than %.1fx\n", failed, tol
+			exit 1
+		}
+		print "benchdiff: OK (no regression beyond " tol "x)"
+	}
+' "$BASELINE" "$out"

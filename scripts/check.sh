@@ -1,10 +1,22 @@
 #!/bin/sh
-# Pre-PR gate (see DESIGN.md §7): vet, build, race-enabled tests, and a
-# one-iteration benchmark smoke pass. Run from the repo root, directly
-# or via `make check`.
+# Pre-PR gate (see DESIGN.md §7): formatting and go.mod hygiene, vet,
+# build, race-enabled tests, and a one-iteration benchmark smoke pass.
+# Run from the repo root, directly or via `make check`. CI runs exactly
+# this script (.github/workflows/ci.yml).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: these files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go mod tidy -diff"
+go mod tidy -diff
 
 echo "== go vet ./..."
 go vet ./...
