@@ -1,9 +1,14 @@
 # Convenience targets; `make check` is the pre-PR gate (DESIGN.md §7).
 
-.PHONY: check test bench build
+.PHONY: check test bench build lint
 
 check:
 	sh scripts/check.sh
+
+# Run the determinism & invariant analyzers (DESIGN.md §9). Complements
+# go vet; also part of `make check` and the CI lint job.
+lint:
+	go run ./cmd/fdwlint ./...
 
 build:
 	go build ./...

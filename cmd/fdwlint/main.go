@@ -1,0 +1,123 @@
+// Command fdwlint runs FDW's determinism and invariant analyzers
+// (internal/lint) over the given package patterns. It is stdlib-only
+// and is wired into scripts/check.sh and the CI lint job.
+//
+// Usage:
+//
+//	fdwlint [-json] [-only analyzer,...] [-list] [packages...]
+//
+// With no patterns it analyzes ./... . Exit status is 0 when the tree
+// is clean, 1 when diagnostics were reported, and 2 when the analysis
+// itself failed (e.g. the tree does not compile).
+//
+// Diagnostics print as "file:line analyzer: message"; a line can be
+// suppressed with a reasoned directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See DESIGN.md §9 for the analyzer catalogue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fdw/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", "", "change to this directory before analyzing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "fdwlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := &lint.Loader{Dir: *dir}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdwlint: %v\n", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(stderr, "fdwlint: %s: %v\n", p.ImportPath, terr)
+		}
+		if len(p.TypeErrors) > 0 {
+			return 2
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	base := *dir
+	if base == "" {
+		base, _ = os.Getwd()
+	} else if abs, err := filepath.Abs(base); err == nil {
+		base = abs
+	}
+	if *jsonOut {
+		out := make([]lint.Diagnostic, 0, len(diags))
+		for _, d := range diags {
+			if rel, err := filepath.Rel(base, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.File = rel
+			}
+			out = append(out, d)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "fdwlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.Format(base))
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "fdwlint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

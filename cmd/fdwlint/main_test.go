@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fdw/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run -list = %d, stderr %s", code, errb.String())
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("run -only nope = %d, want 2", code)
+	}
+}
+
+// TestJSONOnFixture runs the CLI against a known-bad fixture and
+// checks exit status and the machine-readable output shape.
+func TestJSONOnFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-C", "../..", "-only", "wallclock",
+		"./internal/lint/testdata/src/wallclock_bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr %s)", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics decoded")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "wallclock" || d.File == "" || d.Line == 0 {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestCleanFixture checks the zero-diagnostic exit path.
+func TestCleanFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "./internal/lint/testdata/src/wallclock_clean"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout %s\nstderr %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no output, got %s", out.String())
+	}
+}

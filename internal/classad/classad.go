@@ -102,16 +102,23 @@ func (v Value) String() string {
 // Ad is an attribute set (case-insensitive keys, as in HTCondor).
 type Ad map[string]Value
 
-// Lookup retrieves attr case-insensitively.
+// Lookup retrieves attr case-insensitively. An exact-case match wins;
+// among case-variant duplicates the lexicographically smallest key is
+// chosen, so the result never depends on map iteration order.
 func (a Ad) Lookup(attr string) (Value, bool) {
 	if v, ok := a[attr]; ok {
 		return v, true
 	}
 	low := strings.ToLower(attr)
-	for k, v := range a {
-		if strings.ToLower(k) == low {
-			return v, true
+	best := ""
+	found := false
+	for k := range a {
+		if strings.ToLower(k) == low && (!found || k < best) {
+			best, found = k, true
 		}
+	}
+	if found {
+		return a[best], true
 	}
 	return Undefined, false
 }

@@ -283,3 +283,65 @@ func TestParseStressOperatorsSoup(t *testing.T) {
 		_ = e.Eval(nil, nil)
 	}
 }
+
+func TestLookupDuplicateCaseVariantKeys(t *testing.T) {
+	// Pathological but legal: one attribute spelled three ways. An
+	// exact-case match must win, and with no exact match the
+	// lexicographically smallest key must win — on every call, so
+	// matchmaking cannot depend on map iteration order.
+	ad := Ad{"CPUs": Number(1), "CPUS": Number(2), "cpus": Number(3)}
+	for i := 0; i < 100; i++ {
+		v, ok := ad.Lookup("CPUs")
+		if f, _ := v.AsNumber(); !ok || f != 1 {
+			t.Fatalf("iteration %d: exact-case Lookup(CPUs) = %v, %v; want 1", i, v, ok)
+		}
+		// No exact match: "CPUS" < "CPUs" < "cpus" in byte order.
+		v, ok = ad.Lookup("Cpus")
+		if f, _ := v.AsNumber(); !ok || f != 2 {
+			t.Fatalf("iteration %d: Lookup(Cpus) = %v, %v; want 2 (smallest key CPUS)", i, v, ok)
+		}
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	ad := Ad{"X": Number(1)}
+	if v, ok := ad.Lookup("Y"); ok || !v.IsUndefined() {
+		t.Fatalf("Lookup(Y) = %v, %v; want Undefined, false", v, ok)
+	}
+	var nilAd Ad
+	if v, ok := nilAd.Lookup("X"); ok || !v.IsUndefined() {
+		t.Fatalf("nil ad Lookup = %v, %v; want Undefined, false", v, ok)
+	}
+}
+
+func TestMoreMalformedInputs(t *testing.T) {
+	for _, src := range []string{
+		"1e+",       // exponent with no digits
+		"3 =? 4",    // lexes as a two-char op the parser rejects
+		"x ||",      // dangling connective
+		"--",        // unary minus with no operand
+		"(\t",       // open paren then EOF
+		"\"a\\",     // escape at end of input
+		"1.2.3",     // number with two dots
+		"foo bar",   // two idents with no operator
+		"# comment", // unsupported character
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalBoolPropagatesParseError(t *testing.T) {
+	if _, err := EvalBool("((", nil, nil); err == nil {
+		t.Fatal("EvalBool on malformed input returned nil error")
+	}
+	// UNDEFINED maps to false, not an error.
+	ok, err := EvalBool("NoSuchAttr > 4", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("UNDEFINED comparison evaluated true")
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "strconv"
+
+// globalrandForbidden are the randomness packages whose sequences are
+// not reproducible across Go releases (math/rand) or at all
+// (crypto/rand).
+var globalrandForbidden = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// globalrandOwner is the one package allowed to reference the stdlib
+// generators: internal/sim owns the deterministic splitmix64/xoshiro
+// RNG and documents its independence from math/rand.
+const globalrandOwner = modulePath + "/internal/sim"
+
+// GlobalrandAnalyzer forbids importing math/rand and crypto/rand
+// outside internal/sim. Every simulated quantity must draw from a
+// seeded, split-keyed sim.RNG stream so adding an entity never
+// perturbs the variates drawn by others.
+var GlobalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand and crypto/rand outside internal/sim (use sim.RNG)",
+	Run: func(pass *Pass) {
+		if pass.Pkg.ImportPath == globalrandOwner {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !globalrandForbidden[path] {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"import of %s is forbidden outside internal/sim: draw variates from a seeded sim.RNG stream instead",
+					path)
+			}
+		}
+	},
+}

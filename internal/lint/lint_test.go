@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// fixtureLoader is shared across tests so `go list` runs once per
+// fixture, not once per subtest rerun.
+var fixtureLoader = &Loader{}
+
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := fixtureLoader.Load("./testdata/src/" + name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", name, terr)
+		}
+	}
+	return pkgs
+}
+
+// runGolden analyzes one fixture package and compares the formatted
+// diagnostics against testdata/golden/<fixture>.golden. A missing
+// golden file means the fixture must be clean.
+func runGolden(t *testing.T, fixture string, analyzers ...*Analyzer) {
+	t.Helper()
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	diags := Run(loadFixture(t, fixture), analyzers)
+	base, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, d := range diags {
+		fmt.Fprintln(&buf, d.Format(base))
+	}
+	golden := filepath.Join("testdata", "golden", fixture+".golden")
+	if *update {
+		if buf.Len() == 0 {
+			os.Remove(golden)
+			return
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		if os.IsNotExist(err) {
+			want = nil
+		} else {
+			t.Fatal(err)
+		}
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("fixture %s diagnostics mismatch (run go test -run %s -update to regenerate)\ngot:\n%swant:\n%s",
+			fixture, t.Name(), got, want)
+	}
+}
+
+func TestWallclockBad(t *testing.T)   { runGolden(t, "wallclock_bad", WallclockAnalyzer) }
+func TestWallclockClean(t *testing.T) { runGolden(t, "wallclock_clean", WallclockAnalyzer) }
+func TestWallclockAllow(t *testing.T) { runGolden(t, "wallclock_allow", WallclockAnalyzer) }
+
+func TestGlobalrandBad(t *testing.T)   { runGolden(t, "globalrand_bad", GlobalrandAnalyzer) }
+func TestGlobalrandClean(t *testing.T) { runGolden(t, "globalrand_clean", GlobalrandAnalyzer) }
+
+func TestMaporderBad(t *testing.T)   { runGolden(t, "maporder_bad", MaporderAnalyzer) }
+func TestMaporderClean(t *testing.T) { runGolden(t, "maporder_clean", MaporderAnalyzer) }
+
+func TestObsflowBad(t *testing.T)   { runGolden(t, "obsflow_bad", ObsflowAnalyzer) }
+func TestObsflowClean(t *testing.T) { runGolden(t, "obsflow_clean", ObsflowAnalyzer) }
+
+// TestDirectiveDiagnostics runs the full suite so malformed, unknown,
+// and unused //lint:allow directives all surface.
+func TestDirectiveDiagnostics(t *testing.T) { runGolden(t, "directive_bad") }
+
+// TestRepoClean is the tree-wide invariant: the repository must lint
+// clean under every analyzer, with all suppressions reasoned. This is
+// the same run scripts/check.sh performs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo lint in -short mode")
+	}
+	l := &Loader{Dir: "../.."}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.ImportPath, terr)
+		}
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d.Format(""))
+	}
+}
+
+// TestClockFuncCoverage pins the forbidden set: if a future Go release
+// adds clock functions, this test reminds us to revisit the list.
+func TestClockFuncCoverage(t *testing.T) {
+	for _, name := range []string{"Now", "Since", "Until", "Sleep", "Tick", "NewTicker", "NewTimer", "After", "AfterFunc"} {
+		if !wallclockForbidden[name] {
+			t.Errorf("time.%s missing from wallclockForbidden", name)
+		}
+	}
+}

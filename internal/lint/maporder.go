@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPath and obsPath are the packages whose APIs turn a map-ordered
+// loop body into a determinism hazard.
+const (
+	simPath = modulePath + "/internal/sim"
+	obsPath = modulePath + "/internal/obs"
+)
+
+// kernelScheduling are the sim.Kernel methods that put events on the
+// calendar; calling them in map order scrambles the (time, seq)
+// tie-break that makes runs reproducible.
+var kernelScheduling = map[string]bool{"At": true, "After": true, "Ticker": true}
+
+// obsRecording are the obs mutators; spans and gauge sets are
+// order-sensitive records.
+var obsRecording = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "Observe": true,
+	"StartSpan": true, "Annotate": true, "AnnotateAt": true, "End": true,
+}
+
+// MaporderAnalyzer flags order-sensitive work performed while ranging
+// over a map: Go randomizes map iteration order per run, so anything
+// the body appends, writes, schedules, draws, or records leaks that
+// randomness into outputs. The one blessed idiom is collect-and-sort —
+// append only the keys (or values) to a slice that is sorted later in
+// the same function.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag appends/writes/sim-events/RNG-draws/obs-records inside map iteration unless keys are collected and sorted",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			parents := parentMap(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.Pkg.Info, rs) {
+					return true
+				}
+				checkMapRange(pass, rs, enclosingFuncBody(parents, rs))
+				return true
+			})
+		}
+	},
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration containing n (nil at package scope, which cannot hold
+// a range statement anyway).
+func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		switch fn := cur.(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// appendSink is one `dst = append(dst, ...)` inside a map-range body.
+type appendSink struct {
+	call *ast.CallExpr
+	obj  types.Object // root variable of dst, nil if not resolvable
+	expr string
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	mapExpr := types.ExprString(rs.X)
+	var appends []appendSink
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapRange(info, inner) {
+			return false // the nested map range gets its own check
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+			dst := ast.Unparen(call.Args[0])
+			appends = append(appends, appendSink{
+				call: call, obj: rootObject(info, dst), expr: types.ExprString(dst),
+			})
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case funcPkgPath(fn) == "fmt" && (strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")):
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside iteration over map %s: map order is random, so the output order is too — collect the keys and sort them first", fn.Name(), mapExpr)
+		case strings.HasPrefix(fn.Name(), "Write"):
+			pass.Reportf(call.Pos(),
+				"%s inside iteration over map %s writes output in random map order — collect the keys and sort them first", fn.Name(), mapExpr)
+		case methodOn(fn, simPath) && recvTypeName(fn) == "Kernel" && kernelScheduling[fn.Name()]:
+			pass.Reportf(call.Pos(),
+				"sim.Kernel.%s inside iteration over map %s schedules events in random map order, breaking the calendar's deterministic tie-break", fn.Name(), mapExpr)
+		case methodOn(fn, simPath) && recvTypeName(fn) == "RNG":
+			pass.Reportf(call.Pos(),
+				"sim.RNG.%s inside iteration over map %s draws variates in random map order, making results irreproducible", fn.Name(), mapExpr)
+		case methodOn(fn, obsPath) && obsRecording[fn.Name()]:
+			pass.Reportf(call.Pos(),
+				"obs record %s inside iteration over map %s happens in random map order — record outside the loop or sort the keys", fn.Name(), mapExpr)
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if a.obj != nil && sortedAfter(info, funcBody, rs, a.obj) {
+			continue // the collect-and-sort idiom
+		}
+		pass.Reportf(a.call.Pos(),
+			"append to %s inside iteration over map %s without a later sort: map order is random — sort %s (sort or slices package) before it is used", a.expr, mapExpr, a.expr)
+	}
+}
+
+// rootObject resolves the base identifier of an lvalue expression
+// (x, x.f, x[i], ...) to its object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function calls into package sort or slices with dst as (part of) an
+// argument — the signature of the collect-and-sort idiom.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dst types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if p := funcPkgPath(fn); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				// A comparator closure mentioning dst does not sort
+				// dst; only dst appearing in the sorted operand does.
+				if _, ok := an.(*ast.FuncLit); ok {
+					return false
+				}
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == dst {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return true
+	})
+	return sorted
+}

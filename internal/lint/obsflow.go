@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// obsflowGetters are the methods that read a value out of an obs
+// instrument. Handle-returning registry accessors (Counter, Gauge,
+// Histogram, StartSpan) and serializing exporters (Snapshot,
+// WriteJSON, WritePrometheus) are not reads — only these cross from
+// "recorded" back into plain values.
+var obsflowGetters = map[string]bool{
+	"Value": true, "Count": true, "Sum": true, "Quantile": true,
+	"At": true, "Now": true,
+}
+
+// obsflowAllowed may consume instrument values: the obs exporters
+// themselves and the monitor CLI that renders them. Tests are exempt
+// by construction (the loader skips _test.go files) — asserting on
+// metric values is exactly what tests are for.
+var obsflowAllowed = map[string]bool{
+	obsPath:                    true,
+	modulePath + "/cmd/fdwmon": true,
+}
+
+// ObsflowAnalyzer enforces the record-never-decide contract as a flow
+// check: a value read from an obs instrument must not reach a
+// condition, a loop bound, or a variable in non-exporter code. Passing
+// a reading straight into a print call or a return is reporting and
+// stays legal; branching on one would let instrumentation perturb the
+// simulation, which TestFiguresIdenticalWithMetricsEnabled exists to
+// rule out.
+var ObsflowAnalyzer = &Analyzer{
+	Name: "obsflow",
+	Doc:  "flag obs instrument readings flowing into conditions, loop bounds, or variables outside exporters and tests",
+	Run: func(pass *Pass) {
+		if obsflowAllowed[pass.Pkg.ImportPath] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			parents := parentMap(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Pkg.Info, call)
+				if fn == nil || !methodOn(fn, obsPath) || !obsflowGetters[fn.Name()] {
+					return true
+				}
+				if ctx := flowContext(parents, call); ctx != "" {
+					pass.Reportf(call.Pos(),
+						"obs reading %s.%s flows into %s: observability records, it never decides — only internal/obs exporters, cmd/fdwmon, and tests may consume instrument values",
+						recvTypeName(fn), fn.Name(), ctx)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// flowContext climbs from an obs read toward its statement and names
+// the first forbidden context it is part of ("" when the use is legal,
+// e.g. an argument to a print call or a return value).
+func flowContext(parents map[ast.Node]ast.Node, n ast.Node) string {
+	cur := ast.Node(n)
+	for {
+		parent := parents[cur]
+		if parent == nil {
+			return ""
+		}
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			if p.Cond == cur {
+				return "a condition"
+			}
+			return ""
+		case *ast.ForStmt:
+			if p.Cond == cur {
+				return "a loop bound"
+			}
+			return ""
+		case *ast.RangeStmt:
+			if p.X == cur {
+				return "a range expression"
+			}
+			return ""
+		case *ast.SwitchStmt:
+			if p.Tag == cur {
+				return "a switch condition"
+			}
+			return ""
+		case *ast.CaseClause:
+			for _, e := range p.List {
+				if e == cur {
+					return "a case expression"
+				}
+			}
+			return ""
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs != cur {
+					continue
+				}
+				if len(p.Lhs) == len(p.Rhs) && isBlank(p.Lhs[i]) {
+					return "" // discarded on purpose
+				}
+				return "an assignment"
+			}
+			return ""
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v != cur {
+					continue
+				}
+				if len(p.Names) == len(p.Values) && p.Names[i].Name == "_" {
+					return ""
+				}
+				return "a variable declaration"
+			}
+			return ""
+		case ast.Stmt, *ast.FuncDecl:
+			return ""
+		}
+		cur = parent
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

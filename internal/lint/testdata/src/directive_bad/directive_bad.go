@@ -1,0 +1,24 @@
+// Package directive_bad holds every way to get a //lint:allow
+// directive wrong: missing reason, unknown analyzer, and a directive
+// that suppresses nothing.
+package directive_bad
+
+import "time"
+
+// Stamp suppresses wallclock but forgets the mandatory reason.
+func Stamp() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock
+}
+
+// Nap names an analyzer that does not exist, so the real diagnostic
+// survives too.
+func Nap() {
+	time.Sleep(time.Millisecond) //lint:allow wibble timers are fine
+}
+
+// Render is deterministic; the directive below it has nothing to
+// suppress.
+func Render(seconds float64) string {
+	//lint:allow wallclock duration formatting never reads the clock
+	return time.Duration(seconds * float64(time.Second)).String()
+}

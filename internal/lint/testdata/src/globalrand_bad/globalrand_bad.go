@@ -1,0 +1,18 @@
+// Package globalrand_bad imports both forbidden randomness packages.
+package globalrand_bad
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Roll draws from the global math/rand source.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Token fills b with crypto randomness.
+func Token(b []byte) error {
+	_, err := crand.Read(b)
+	return err
+}

@@ -1,0 +1,10 @@
+// Package globalrand_clean draws variates the sanctioned way: from a
+// seeded, split-keyed sim.RNG stream.
+package globalrand_clean
+
+import "fdw/internal/sim"
+
+// Roll draws a die from a deterministic stream.
+func Roll(seed uint64) int {
+	return sim.NewRNG(seed).Intn(6) + 1
+}

@@ -1,0 +1,62 @@
+// Package maporder_bad performs every class of order-sensitive work
+// inside map iteration that the maporder analyzer must flag.
+package maporder_bad
+
+import (
+	"fmt"
+	"io"
+
+	"fdw/internal/obs"
+	"fdw/internal/sim"
+)
+
+// Keys leaks map order into a slice that is never sorted.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump prints rows in map order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Emit writes raw rows in map order.
+func Emit(w io.Writer, m map[string]string) error {
+	for _, v := range m {
+		if _, err := w.Write([]byte(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule puts calendar events on in map order, scrambling the
+// deterministic (time, seq) tie-break.
+func Schedule(k *sim.Kernel, jobs map[string]sim.Time) {
+	for id, at := range jobs {
+		id := id
+		k.At(at, func() { _ = id })
+	}
+}
+
+// Draw consumes RNG variates in map order.
+func Draw(rng *sim.RNG, weights map[string]float64) float64 {
+	total := 0.0
+	for range weights {
+		total += rng.Float64()
+	}
+	return total
+}
+
+// Record stamps obs records in map order.
+func Record(r *obs.Registry, counts map[string]uint64) {
+	for name, n := range counts {
+		r.Counter("jobs", "site", name).Add(n)
+	}
+}

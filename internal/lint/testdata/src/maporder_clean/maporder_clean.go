@@ -1,0 +1,46 @@
+// Package maporder_clean iterates maps only in ways the maporder
+// analyzer permits: collect-and-sort, commutative accumulation, and
+// order-sensitive work driven by the sorted keys.
+package maporder_clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys is the blessed idiom: append only the keys, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump writes rows in sorted-key order.
+func Dump(w io.Writer, m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Total accumulates commutatively; order cannot show.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SliceSorted shows sort.Slice also satisfies the idiom.
+func SliceSorted(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}

@@ -1,0 +1,39 @@
+// Package obsflow_bad lets instrument readings decide behavior in
+// every way the obsflow analyzer must flag.
+package obsflow_bad
+
+import "fdw/internal/obs"
+
+// Throttle branches on a counter: metrics deciding, the core contract
+// violation.
+func Throttle(r *obs.Registry) bool {
+	if r.Counter("jobs_submitted").Value() > 100 {
+		return true
+	}
+	return false
+}
+
+// Drain uses a histogram count as a loop bound.
+func Drain(r *obs.Registry) int {
+	n := 0
+	for i := uint64(0); i < r.Histogram("latency").Count(); i++ {
+		n++
+	}
+	return n
+}
+
+// Capture squirrels a gauge reading into simulation state.
+func Capture(r *obs.Registry) float64 {
+	depth := r.Gauge("queue_depth").Value()
+	return depth * 2
+}
+
+// Mode switches on a quantile estimate.
+func Mode(r *obs.Registry) string {
+	switch {
+	case r.Histogram("latency").Quantile(0.5) > 60:
+		return "slow"
+	default:
+		return "fast"
+	}
+}

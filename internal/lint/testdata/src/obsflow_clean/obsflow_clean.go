@@ -1,0 +1,32 @@
+// Package obsflow_clean consumes instrument readings only in the
+// legal, report-only ways: print arguments, returns, exporters, and
+// deliberate discards.
+package obsflow_clean
+
+import (
+	"fmt"
+	"io"
+
+	"fdw/internal/obs"
+)
+
+// Report prints a reading without storing or branching on it.
+func Report(w io.Writer, r *obs.Registry) {
+	fmt.Fprintf(w, "submitted %d\n", r.Counter("jobs_submitted").Value())
+}
+
+// Submitted surfaces a reading to the caller; what the caller does
+// with it is checked at the caller.
+func Submitted(r *obs.Registry) uint64 {
+	return r.Counter("jobs_submitted").Value()
+}
+
+// Export serializes the whole registry; exporter APIs are not reads.
+func Export(w io.Writer, r *obs.Registry) error {
+	return r.WriteJSON(w)
+}
+
+// Touch discards a reading explicitly.
+func Touch(r *obs.Registry) {
+	_ = r.Gauge("queue_depth").Value()
+}

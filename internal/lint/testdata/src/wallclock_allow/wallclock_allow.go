@@ -1,0 +1,18 @@
+// Package wallclock_allow demonstrates suppressing the wallclock
+// analyzer with a reasoned //lint:allow directive, in both trailing
+// and stand-alone placement.
+package wallclock_allow
+
+import "time"
+
+// ExportStamp stamps an export file with real time, which is outside
+// the simulation and documented as safe.
+func ExportStamp() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock export file stamps are outside the simulation
+}
+
+// Throttle sleeps between retries of a host-side operation.
+func Throttle() {
+	//lint:allow wallclock host-side retry backoff, not simulated time
+	time.Sleep(time.Millisecond)
+}

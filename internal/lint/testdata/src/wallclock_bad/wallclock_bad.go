@@ -1,0 +1,26 @@
+// Package wallclock_bad exercises every class of wall-clock use the
+// wallclock analyzer must flag.
+package wallclock_bad
+
+import "time"
+
+// Stamp reads the host clock directly.
+func Stamp() int64 {
+	t := time.Now()
+	return t.UnixNano()
+}
+
+// Nap arms a host timer.
+func Nap() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Waiter leaks a timer channel.
+func Waiter() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+// Elapsed measures host time.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}

@@ -1,0 +1,18 @@
+// Package wallclock_clean uses package time only for deterministic
+// conversions and formatting, which the wallclock analyzer permits.
+package wallclock_clean
+
+import "time"
+
+// Render formats a simulated-seconds value as a duration string.
+func Render(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).String()
+}
+
+// Epoch is a fixed date, not a clock read.
+var Epoch = time.Date(2023, time.November, 12, 0, 0, 0, 0, time.UTC)
+
+// ParseStamp parses a textual timestamp.
+func ParseStamp(s string) (time.Time, error) {
+	return time.Parse("2006-01-02 15:04:05", s)
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden are the package time functions that read the host
+// clock or arm host timers. Conversions and constants (time.Duration,
+// time.Second, time.Date, time.Parse) are deterministic and allowed.
+var wallclockForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true, "After": true, "AfterFunc": true,
+}
+
+// wallclockAllowed are the packages permitted to touch the wall clock:
+// the observability exporters (which may stamp export files with real
+// time) and the live monitor CLI. Tests are exempt by construction —
+// the loader never analyzes _test.go files.
+var wallclockAllowed = map[string]bool{
+	modulePath + "/internal/obs": true,
+	modulePath + "/cmd/fdwmon":   true,
+}
+
+// WallclockAnalyzer forbids wall-clock reads and host timers outside
+// the allowlist. Simulated time comes from sim.Kernel; a time.Now in
+// model code silently couples results to the host scheduler, the class
+// of nondeterminism PR 1's byte-identical figure tests exist to catch.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep/timers outside internal/obs, cmd/fdwmon, and tests",
+	Run: func(pass *Pass) {
+		if wallclockAllowed[pass.Pkg.ImportPath] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+				if !ok || funcPkgPath(fn) != "time" || !wallclockForbidden[fn.Name()] {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"use of time.%s: wall-clock reads are forbidden outside internal/obs, cmd/fdwmon, and tests; use the simulation clock (sim.Kernel.Now/After)",
+					fn.Name())
+				return true
+			})
+		}
+	},
+}

@@ -464,6 +464,7 @@ func (p *Pool) negotiate() {
 			os.schedd[j] = s
 		}
 		for owner, jobs := range perOwner {
+			//lint:allow maporder each key appends to its own owner's slice, so iterations commute
 			owners[owner].perSchedd = append(owners[owner].perSchedd, jobs)
 		}
 	}

@@ -174,3 +174,79 @@ func TestClassify(t *testing.T) {
 		}
 	}
 }
+
+func TestReadBatchCSVEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		"empty input":      "",
+		"header only":      "batch,submit,start,end\n",
+		"unclosed quote":   "batch,submit,start,end\n\"b,1,2,3\n",
+		"too few columns":  "batch,submit,start,end\nb,1,2\n",
+		"extra row":        "batch,submit,start,end\nb,1,2,3\nc,4,5,6\n",
+		"times unordered":  "batch,submit,start,end\nb,10,5,20\n",
+		"empty batch name": "batch,submit,start,end\n,1,2,3\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBatchCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: ReadBatchCSV accepted %q", name, src)
+		}
+	}
+}
+
+func TestReadJobsCSVHeaderOnly(t *testing.T) {
+	// A header with no rows is a valid, empty trace — not an error.
+	jobs, err := ReadJobsCSV(strings.NewReader("job,class,submit,start,end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("got %d jobs from header-only CSV", len(jobs))
+	}
+}
+
+func TestReadJobsCSVDuplicateIDs(t *testing.T) {
+	// The reader is a faithful parser: duplicate IDs are preserved in
+	// row order for the consumer to judge, not silently deduplicated.
+	src := "job,class,submit,start,end\nj1,rupture,0,1,2\nj1,rupture,3,4,5\n"
+	jobs, err := ReadJobsCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "j1" || jobs[1].ID != "j1" {
+		t.Fatalf("duplicate rows not preserved: %+v", jobs)
+	}
+	if jobs[0].Submit != 0 || jobs[1].Submit != 3 {
+		t.Fatalf("row order not preserved: %+v", jobs)
+	}
+}
+
+func TestReadJobsCSVWhitespaceNumbers(t *testing.T) {
+	// Quoted fields may carry stray spaces; the number parser trims.
+	src := "job,class,submit,start,end\nj1,waveform,\" 1.5\",\" 2 \",3\n"
+	jobs, err := ReadJobsCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Submit != 1.5 || jobs[0].Start != 2 {
+		t.Fatalf("whitespace-padded numbers misparsed: %+v", jobs[0])
+	}
+}
+
+func TestJobsCSVNeverRanRoundTrip(t *testing.T) {
+	// Negative Start/End are the "never started/finished" sentinels
+	// and must survive a write/read cycle exactly.
+	in := []JobRecord{{ID: "j1", Class: ClassRupture, Submit: 7, Start: -1, End: -1}}
+	var buf bytes.Buffer
+	if err := WriteJobsCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJobsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip changed record: %+v -> %+v", in[0], out[0])
+	}
+	if out[0].Started() || out[0].Finished() {
+		t.Fatal("sentinel times read back as started/finished")
+	}
+}

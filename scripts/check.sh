@@ -1,6 +1,7 @@
 #!/bin/sh
 # Pre-PR gate (see DESIGN.md §7): formatting and go.mod hygiene, vet,
-# build, race-enabled tests, and a one-iteration benchmark smoke pass.
+# fdwlint (determinism & invariant analyzers, DESIGN.md §9), build,
+# race-enabled tests, and a one-iteration benchmark smoke pass.
 # Run from the repo root, directly or via `make check`. CI runs exactly
 # this script (.github/workflows/ci.yml).
 set -eu
@@ -20,6 +21,9 @@ go mod tidy -diff
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== fdwlint ./... (determinism & invariant analyzers, DESIGN.md §9)"
+go run ./cmd/fdwlint ./...
 
 echo "== go build ./..."
 go build ./...
