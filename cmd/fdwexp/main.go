@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|all
+//	fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all
 //
 // Flags:
 //
@@ -11,6 +11,10 @@
 //	-seeds n   repetitions (the paper uses 3)
 //	-j n       concurrent simulations (default: all cores; output is
 //	           byte-identical for any -j, so -j only changes wall time)
+//
+// chaos runs the fault-injection sweep (DESIGN.md §10): the Fig. 2
+// workload under every standard fault plan, with termination and
+// job-conservation invariants enforced per cell.
 //
 // fig5 runs the bursting sweep uncapped (VDC usage, §5.3.1–5.3.2);
 // fig6 reruns it with the paper's 30% bursted-job cap for the cost and
@@ -38,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|all")
+		fmt.Fprintln(os.Stderr, "usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all")
 		os.Exit(2)
 	}
 	opt := fdw.DefaultExperimentOptions()
@@ -161,6 +165,12 @@ func dispatch(cmd string, opt fdw.ExperimentOptions, csvDir string) error {
 	case "elastic":
 		_, err := fdw.ElasticComparison(opt)
 		return err
+	case "chaos":
+		rows, err := fdw.Chaos(opt)
+		if err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "chaos.csv", func(w io.Writer) error { return expt.WriteChaosCSV(w, rows) })
 	case "all":
 		for _, c := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "ablate", "policy3", "elastic"} {
 			if err := dispatch(c, opt, csvDir); err != nil {

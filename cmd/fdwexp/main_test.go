@@ -16,7 +16,7 @@ func quickOpt() fdw.ExperimentOptions {
 }
 
 func TestDispatchEveryFigure(t *testing.T) {
-	for _, cmd := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "ablate", "policy3", "elastic"} {
+	for _, cmd := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "ablate", "policy3", "elastic", "chaos"} {
 		opt := quickOpt()
 		if cmd == "headline" {
 			opt.Scale = 0.1

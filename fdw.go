@@ -30,6 +30,7 @@ import (
 	"fdw/internal/core"
 	"fdw/internal/expt"
 	"fdw/internal/fakequakes"
+	"fdw/internal/faults"
 	"fdw/internal/geom"
 	"fdw/internal/htcondor"
 	"fdw/internal/obs"
@@ -234,7 +235,27 @@ type (
 	AblationRow  = expt.AblationRow
 	Policy3Row   = expt.Policy3Row
 	ElasticRow   = expt.ElasticRow
+	ChaosRow     = expt.ChaosRow
 )
+
+// Fault-plan engine (internal/faults): deterministic scripted site
+// outages, black holes, failure bursts, transfer and submit faults,
+// layered onto a pool through injection hooks (DESIGN.md §10).
+type (
+	FaultPlan     = faults.Plan
+	FaultWindow   = faults.Window
+	FaultInjector = faults.Injector
+)
+
+// NewFaultInjector validates plan and binds it to the environment's
+// kernel; Attach the result to the environment's pool and schedds
+// before running.
+func NewFaultInjector(env *Env, plan FaultPlan) (*FaultInjector, error) {
+	return faults.New(env.Kernel, plan)
+}
+
+// StandardFaultPlans is the chaos-sweep fault-plan grid.
+func StandardFaultPlans() []FaultPlan { return faults.StandardPlans() }
 
 // Experiment harness entry points (see DESIGN.md's experiment index).
 var (
@@ -255,6 +276,11 @@ var (
 	AblationChurn     = expt.AblationChurn
 	Policy3Sweep      = expt.Policy3Sweep
 	ElasticComparison = expt.ElasticComparison
+
+	// Chaos is the fault-injection sweep: the Fig. 2-scale workflow
+	// under every standard fault plan, with termination, conservation,
+	// and determinism invariants enforced (DESIGN.md §10).
+	Chaos = expt.Chaos
 )
 
 // Scenario bundles one FakeQuakes rupture and its station waveforms.

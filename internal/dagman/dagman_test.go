@@ -3,6 +3,7 @@ package dagman
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -591,3 +592,253 @@ var (
 	errPre  = fmt.Errorf("pre script failed")
 	errPost = fmt.Errorf("post script failed")
 )
+
+// submission records one factory invocation: which node, at what sim time.
+type submission struct {
+	node string
+	at   sim.Time
+}
+
+// namedFactory materializes one job per node, stamped with the node
+// name in Arguments so per-node run behavior can key off it, and logs
+// every submission with its sim time.
+func namedFactory(k *sim.Kernel, log *[]submission) JobFactory {
+	return func(n *Node) ([]*htcondor.Job, error) {
+		*log = append(*log, submission{n.Name, k.Now()})
+		return []*htcondor.Job{{Owner: "dag", Arguments: n.Name}}, nil
+	}
+}
+
+// perNodeRun is autoRun with per-node execution time and exit code,
+// keyed on the node name namedFactory stamped into Arguments.
+func perNodeRun(k *sim.Kernel, s *htcondor.Schedd, wait sim.Time, exec func(node string) sim.Time, exit func(node string) int) {
+	s.Subscribe(func(j *htcondor.Job, ev htcondor.EventType) {
+		if ev != htcondor.EventSubmit {
+			return
+		}
+		node := j.Arguments
+		k.After(wait, func() {
+			if j.Status != htcondor.Idle {
+				return
+			}
+			if err := s.MarkRunning(j, "local"); err != nil {
+				return
+			}
+			k.After(exec(node), func() {
+				if j.Status == htcondor.Running {
+					_ = s.MarkCompleted(j, exit(node))
+				}
+			})
+		})
+	})
+}
+
+// Regression: a node that exhausts its RETRY budget must release its
+// category slot to throttled siblings. failNodeAttempted used to mark
+// the node failed without calling dispatchReady, so with MAXJOBS 1 the
+// sibling stayed ready-but-never-submitted and the DAG hung: the event
+// loop drained with Done() false.
+func TestPermanentFailureReleasesCategorySlot(t *testing.T) {
+	d := NewDAG()
+	if err := d.AddNode(&Node{Name: "bad", SubmitFile: "bad.sub", Category: "c", Retry: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(&Node{Name: "good", SubmitFile: "good.sub", Category: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	d.MaxJobs["c"] = 1
+	k := sim.NewKernel(1)
+	s := htcondor.NewSchedd("dag", k, nil)
+	var log []submission
+	e, err := NewExecutor("dag", d, k, s, namedFactory(k, &log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNodeRun(k, s, 1, func(string) sim.Time { return 1 }, func(node string) int {
+		if node == "bad" {
+			return 1
+		}
+		return 0
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !e.Done() {
+		t.Fatalf("DAG hung after permanent failure: states=%v", e.NodeStates())
+	}
+	if !e.Failed() {
+		t.Fatal("bad node should have failed the DAG")
+	}
+	states := e.NodeStates()
+	if states["bad"] != NodeFailed {
+		t.Fatalf("bad = %v, want failed", states["bad"])
+	}
+	if states["good"] != NodeDone {
+		t.Fatalf("good = %v, want done (throttled sibling must still run)", states["good"])
+	}
+	if got := e.NodeRetries()["bad"]; got != 1 {
+		t.Fatalf("bad retries = %d, want 1", got)
+	}
+	if e.TotalRetries() != 1 {
+		t.Fatalf("total retries = %d, want 1", e.TotalRetries())
+	}
+}
+
+// Regression: a RETRY resubmission must requeue through dispatchReady
+// rather than call submitNode directly, so it competes for its category
+// slot under MAXJOBS in declaration order. Before the fix a flaky node
+// retried back-to-back and starved an earlier-declared sibling until
+// its entire RETRY budget was spent.
+func TestRetryRequeuesThroughCategoryThrottle(t *testing.T) {
+	d := NewDAG()
+	// gate holds waiter back until flaky has already failed twice; when
+	// flaky's third failure frees the slot, waiter — declared before
+	// flaky — must get it, interleaving with flaky's remaining retries.
+	if err := d.AddNode(&Node{Name: "gate", SubmitFile: "gate.sub"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(&Node{Name: "waiter", SubmitFile: "waiter.sub", Category: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(&Node{Name: "flaky", SubmitFile: "flaky.sub", Category: "c", Retry: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("gate", "waiter"); err != nil {
+		t.Fatal(err)
+	}
+	d.MaxJobs["c"] = 1
+	k := sim.NewKernel(1)
+	s := htcondor.NewSchedd("dag", k, nil)
+	var log []submission
+	e, err := NewExecutor("dag", d, k, s, namedFactory(k, &log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNodeRun(k, s, 1, func(node string) sim.Time {
+		if node == "gate" {
+			return 11 // gate finishes between flaky's 2nd and 3rd failure
+		}
+		return 4
+	}, func(node string) int {
+		if node == "flaky" {
+			return 1
+		}
+		return 0
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !e.Done() {
+		t.Fatalf("DAG hung: states=%v", e.NodeStates())
+	}
+	states := e.NodeStates()
+	if states["gate"] != NodeDone || states["waiter"] != NodeDone || states["flaky"] != NodeFailed {
+		t.Fatalf("states = %v", states)
+	}
+	if got := e.NodeRetries()["flaky"]; got != 10 {
+		t.Fatalf("flaky retries = %d, want 10 (full budget)", got)
+	}
+	var waiterFirst, flakyLast sim.Time = -1, -1
+	for _, sub := range log {
+		switch sub.node {
+		case "waiter":
+			if waiterFirst < 0 {
+				waiterFirst = sub.at
+			}
+		case "flaky":
+			flakyLast = sub.at
+		}
+	}
+	if waiterFirst < 0 {
+		t.Fatal("waiter never submitted")
+	}
+	// The pinned behavior: waiter is dispatched as soon as a flaky
+	// failure frees the slot, not only after flaky's budget is gone.
+	if waiterFirst >= flakyLast {
+		t.Fatalf("retry bypassed the throttle: waiter first submitted at %v, after flaky's last attempt at %v",
+			waiterFirst, flakyLast)
+	}
+}
+
+// Satellite: rescue round trip. A failed run's WriteRescue output,
+// re-parsed and re-executed on a fresh kernel, resumes exactly the
+// non-DONE nodes and converges to the same final node states as a run
+// that never failed.
+func TestRescueRoundTripResumesAndConverges(t *testing.T) {
+	mkDAG := func() *DAG {
+		d := NewDAG()
+		for _, n := range []string{"a", "b"} {
+			if err := d.AddNode(&Node{Name: n, SubmitFile: n + ".sub"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.AddNode(&Node{Name: "c", SubmitFile: "c.sub", Retry: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"a", "b"} {
+			if err := d.AddEdge(p, "c"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	run := func(d *DAG, exit func(node string) int) (*Executor, []submission) {
+		k := sim.NewKernel(1)
+		s := htcondor.NewSchedd("dag", k, nil)
+		var log []submission
+		e, err := NewExecutor("dag", d, k, s, namedFactory(k, &log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perNodeRun(k, s, 1, func(string) sim.Time { return 1 }, exit)
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return e, log
+	}
+
+	// Run 1: b fails permanently → a done, b failed, c never ran.
+	e1, _ := run(mkDAG(), func(node string) int {
+		if node == "b" {
+			return 1
+		}
+		return 0
+	})
+	if !e1.Done() || !e1.Failed() {
+		t.Fatalf("run 1: done=%v failed=%v", e1.Done(), e1.Failed())
+	}
+	var buf bytes.Buffer
+	if err := e1.WriteRescue(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rescue, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("rescue unparsable: %v\n%s", err, buf.String())
+	}
+
+	// Run 2 resumes from the rescue with the fault fixed.
+	e2, log2 := run(rescue, func(string) int { return 0 })
+	if !e2.Done() || e2.Failed() {
+		t.Fatalf("run 2: done=%v failed=%v states=%v", e2.Done(), e2.Failed(), e2.NodeStates())
+	}
+	resubmitted := map[string]bool{}
+	for _, sub := range log2 {
+		resubmitted[sub.node] = true
+	}
+	if resubmitted["a"] {
+		t.Fatal("rescue run resubmitted a DONE node")
+	}
+	if !resubmitted["b"] || !resubmitted["c"] {
+		t.Fatalf("rescue run skipped a non-DONE node: submitted %v", resubmitted)
+	}
+
+	// The resumed run converges to the same final states as a run that
+	// never saw the fault.
+	e3, _ := run(mkDAG(), func(string) int { return 0 })
+	if !reflect.DeepEqual(e2.NodeStates(), e3.NodeStates()) {
+		t.Fatalf("resumed states %v != uninterrupted states %v", e2.NodeStates(), e3.NodeStates())
+	}
+}

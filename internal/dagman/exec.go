@@ -92,6 +92,7 @@ type nodeRun struct {
 	remaining int
 	attempts  int
 	failures  int
+	retries   int // failed attempts that were requeued (RETRY budget spent)
 }
 
 // NewExecutor prepares (but does not start) a DAG run.
@@ -174,6 +175,26 @@ func (e *Executor) NodeStates() map[string]NodeState {
 	return out
 }
 
+// NodeRetries returns, per node, how many failed attempts were requeued
+// under the RETRY budget (the counterpart of the
+// fdw_dagman_node_retries_total metric, available with obs off).
+func (e *Executor) NodeRetries() map[string]int {
+	out := make(map[string]int, len(e.state))
+	for name, nr := range e.state {
+		out[name] = nr.retries
+	}
+	return out
+}
+
+// TotalRetries returns the sum of NodeRetries across the DAG.
+func (e *Executor) TotalRetries() int {
+	n := 0
+	for _, nr := range e.state {
+		n += nr.retries
+	}
+	return n
+}
+
 // RuntimeSeconds returns the DAG wall time (so far, if still running).
 func (e *Executor) RuntimeSeconds() float64 {
 	end := e.EndTime
@@ -253,11 +274,18 @@ func (e *Executor) failNode(nr *nodeRun) { e.failNodeAttempted(nr) }
 // failNodeAttempted retries the node if budget remains, else fails it.
 func (e *Executor) failNodeAttempted(nr *nodeRun) {
 	if nr.attempts <= nr.node.Retry {
-		// Retry: resubmit immediately (DAGMan requeues the node).
+		// Retry: requeue the node as ready rather than resubmitting
+		// directly, so the attempt goes back through dispatchReady and
+		// honors the category MAXJOBS throttle (and declaration-order
+		// fairness) like any other dispatch.
+		nr.retries++
 		if e.Obs != nil {
 			e.Obs.Counter("fdw_dagman_retries_total", "dag", e.Name).Inc()
+			e.Obs.Counter("fdw_dagman_node_retries_total",
+				"dag", e.Name, "node", nr.node.Name).Inc()
 		}
-		e.submitNode(nr)
+		nr.state = NodeReady
+		e.dispatchReady()
 		return
 	}
 	nr.state = NodeFailed
@@ -266,6 +294,11 @@ func (e *Executor) failNodeAttempted(nr *nodeRun) {
 		e.Obs.Counter("fdw_dagman_node_failures_total", "dag", e.Name).Inc()
 		e.nodeGauges()
 	}
+	// A permanent failure releases its category slot: siblings throttled
+	// behind this node must be dispatched now, or the DAG would hang with
+	// checkComplete seeing them dispatchable while nothing ever submits
+	// them.
+	e.dispatchReady()
 	e.checkComplete()
 }
 

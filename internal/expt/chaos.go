@@ -1,0 +1,177 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"fdw/internal/core"
+	"fdw/internal/faults"
+	"fdw/internal/htcondor"
+)
+
+// The chaos sweep runs the Fig. 2-scale FDW workflow under the
+// standard fault-plan grid (faults.StandardPlans) and asserts the
+// recovery invariants the paper's value proposition rests on:
+//
+//  1. termination — the executor reaches Done before the horizon for
+//     every plan (no deadlock or hang, even when the DAG fails);
+//  2. job conservation — every submitted job is accounted for:
+//     submitted = completed-ok + failed (non-zero exit) + removed;
+//  3. determinism — for a fixed seed the printed report and rows are
+//     byte-identical at any Workers value and GOMAXPROCS.
+//
+// An invariant violation is returned as an error (the sweep is a test
+// harness as much as an experiment).
+
+// ChaosRow is one (plan, seed) cell of the chaos sweep.
+type ChaosRow struct {
+	Plan string
+	Seed uint64
+
+	DAGDone   bool // executor terminated before the horizon
+	DAGFailed bool // at least one node exhausted its retries
+
+	Submitted   int // jobs accepted by the schedd
+	CompletedOK int // terminated with exit 0
+	FailedJobs  int // terminated with non-zero exit
+	Removed     int // removed/offloaded before running
+
+	NodeRetries int     // DAGMan RETRY budget spent across nodes
+	Evictions   int     // pool preemptions + job-level requeues
+	RuntimeH    float64 // DAG wall time, hours
+}
+
+// chaosWorkflowConfig is the swept workload: the Fig. 2 full-station
+// cell at the smallest paper quantity, shrunk by opt.Scale.
+func chaosWorkflowConfig(opt Options, plan string, seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Name = fmt.Sprintf("chaos-%s", plan)
+	cfg.Waveforms = opt.scaleN(Fig2Quantities[0])
+	cfg.Seed = seed
+	return cfg
+}
+
+// Chaos runs the chaos sweep and returns one row per (plan, seed), in
+// grid order. Rows are printed to opt.Out as they are aggregated; the
+// fan-out across opt.Workers leaves the bytes identical to a serial
+// run.
+func Chaos(opt Options) ([]ChaosRow, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	plans := faults.StandardPlans()
+	w := opt.out()
+	fmt.Fprintf(w, "Chaos sweep — %d fault plans × %d seeds (scale %.3f)\n", len(plans), len(opt.Seeds), opt.Scale)
+	fmt.Fprintf(w, "%15s %6s %5s %6s | %6s %6s %6s %7s | %7s %6s %10s\n",
+		"plan", "seed", "done", "dagok",
+		"jobs", "ok", "fail", "removed",
+		"retries", "evict", "runtime h")
+
+	reps := len(opt.Seeds)
+	rows := make([]ChaosRow, len(plans)*reps)
+	err := forEachIndex(opt.workers(), len(rows), func(i int) error {
+		plan, seed := plans[i/reps], opt.Seeds[i%reps]
+		row, err := chaosOne(opt, plan, seed)
+		if err != nil {
+			return fmt.Errorf("chaos plan %q seed %d: %w", plan.Name, seed, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		dagok := "ok"
+		if r.DAGFailed {
+			dagok = "FAILED"
+		}
+		fmt.Fprintf(w, "%15s %6d %5t %6s | %6d %6d %6d %7d | %7d %6d %10.2f\n",
+			r.Plan, r.Seed, r.DAGDone, dagok,
+			r.Submitted, r.CompletedOK, r.FailedJobs, r.Removed,
+			r.NodeRetries, r.Evictions, r.RuntimeH)
+	}
+	return rows, nil
+}
+
+// chaosOne simulates one (plan, seed) cell and checks its invariants.
+func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
+	var row ChaosRow
+	env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
+	if err != nil {
+		return row, err
+	}
+	wf, err := core.NewWorkflow(chaosWorkflowConfig(opt, plan.Name, seed), env.Kernel, env.Pool, nil)
+	if err != nil {
+		return row, err
+	}
+	inj, err := faults.New(env.Kernel, plan)
+	if err != nil {
+		return row, err
+	}
+	inj.SetObs(opt.Obs)
+	inj.Attach(env.Pool, wf.Schedd)
+	// Invariant 1 (termination): RunBatch errors iff the executor did
+	// not reach Done by the horizon. A DAG whose node exhausted its
+	// retries still terminates — that is the recovery contract under
+	// test.
+	if err := core.RunBatch(env, []*core.Workflow{wf}, opt.Horizon); err != nil {
+		return row, fmt.Errorf("termination invariant: %w", err)
+	}
+
+	var ok, failed, removed int
+	for _, j := range wf.Schedd.AllJobs() {
+		switch {
+		case j.Status == htcondor.Completed && j.ExitCode == 0:
+			ok++
+		case j.Status == htcondor.Completed:
+			failed++
+		case j.Status == htcondor.Removed:
+			removed++
+		default:
+			return row, fmt.Errorf("conservation invariant: job %s ended in state %v", j.ID(), j.Status)
+		}
+	}
+	submitted := len(wf.Schedd.AllJobs())
+	if submitted != ok+failed+removed {
+		return row, fmt.Errorf("conservation invariant: submitted %d != ok %d + failed %d + removed %d",
+			submitted, ok, failed, removed)
+	}
+
+	_, _, evictions := env.Pool.Stats()
+	row = ChaosRow{
+		Plan:        plan.Name,
+		Seed:        seed,
+		DAGDone:     wf.Exec.Done(),
+		DAGFailed:   wf.Exec.Failed(),
+		Submitted:   submitted,
+		CompletedOK: ok,
+		FailedJobs:  failed,
+		Removed:     removed,
+		NodeRetries: wf.Exec.TotalRetries(),
+		Evictions:   evictions,
+		RuntimeH:    wf.RuntimeHours(),
+	}
+	if !row.DAGDone {
+		return row, fmt.Errorf("termination invariant: executor not done after RunBatch")
+	}
+	return row, nil
+}
+
+// WriteChaosCSV writes the chaos-sweep rows.
+func WriteChaosCSV(w io.Writer, rows []ChaosRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Plan, fmt.Sprintf("%d", r.Seed),
+			fmt.Sprintf("%t", r.DAGDone), fmt.Sprintf("%t", r.DAGFailed),
+			d(r.Submitted), d(r.CompletedOK), d(r.FailedJobs), d(r.Removed),
+			d(r.NodeRetries), d(r.Evictions), f(r.RuntimeH),
+		}
+	}
+	return writeCSV(w, []string{
+		"plan", "seed", "dag_done", "dag_failed",
+		"submitted", "completed_ok", "failed", "removed",
+		"node_retries", "evictions", "runtime_h",
+	}, out)
+}

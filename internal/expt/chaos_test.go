@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fdw/internal/faults"
+	"fdw/internal/obs"
+)
+
+// chaosOptions shrinks the sweep for test speed. Scale 0.002 floors the
+// waveform count at 16 stations — small, but enough work for every
+// fault window to bite.
+func chaosOptions() Options {
+	opt := DefaultOptions()
+	opt.Seeds = []uint64{11}
+	opt.Scale = 0.002
+	return opt
+}
+
+// TestChaosSweepShort is the CI chaos entry point: the full standard
+// plan grid at small scale, with the sweep's own invariants (termination
+// and job conservation) enforced inside Chaos, plus cross-worker
+// byte-identity checked here.
+func TestChaosSweepShort(t *testing.T) {
+	run := func(workers int) ([]ChaosRow, string) {
+		opt := chaosOptions()
+		opt.Workers = workers
+		var out bytes.Buffer
+		opt.Out = &out
+		rows, err := Chaos(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, out.String()
+	}
+	rows1, out1 := run(1)
+	rows4, out4 := run(4)
+
+	if want := len(faults.StandardPlans()) * len(chaosOptions().Seeds); len(rows1) != want {
+		t.Fatalf("%d rows, want %d", len(rows1), want)
+	}
+	if !reflect.DeepEqual(rows1, rows4) {
+		t.Fatalf("rows differ across workers:\n%v\n%v", rows1, rows4)
+	}
+	if out1 != out4 {
+		t.Fatalf("-j 1 and -j 4 chaos reports differ:\n--- j1 ---\n%s\n--- j4 ---\n%s", out1, out4)
+	}
+
+	byPlan := map[string]ChaosRow{}
+	for _, r := range rows1 {
+		byPlan[r.Plan] = r
+	}
+	base := byPlan["baseline"]
+	if base.DAGFailed || base.FailedJobs != 0 {
+		t.Fatalf("baseline plan saw failures: %+v", base)
+	}
+	// The fault plans must actually bite: across the grid some jobs
+	// fail and some DAGMan retry budget is spent.
+	var failed, retries int
+	for _, r := range rows1 {
+		failed += r.FailedJobs
+		retries += r.NodeRetries
+	}
+	if failed == 0 {
+		t.Fatal("no plan injected a job failure")
+	}
+	if retries == 0 {
+		t.Fatal("no plan consumed DAGMan retry budget")
+	}
+}
+
+func TestChaosCountsInjectedFaults(t *testing.T) {
+	opt := chaosOptions()
+	opt.Obs = obs.NewRegistry(nil)
+	var out bytes.Buffer
+	opt.Out = &out
+	if _, err := Chaos(opt); err != nil {
+		t.Fatal(err)
+	}
+	var injected uint64
+	for _, c := range opt.Obs.Snapshot().Counters {
+		if c.Name == "fdw_faults_injected_total" {
+			injected += c.Value
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults counted by the injector")
+	}
+}
+
+func TestChaosCSV(t *testing.T) {
+	rows := []ChaosRow{{
+		Plan: "baseline", Seed: 11, DAGDone: true,
+		Submitted: 10, CompletedOK: 10, RuntimeH: 1.5,
+	}}
+	var buf bytes.Buffer
+	if err := WriteChaosCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "plan,seed,dag_done") || !strings.Contains(got, "baseline,11,true") {
+		t.Fatalf("csv:\n%s", got)
+	}
+}

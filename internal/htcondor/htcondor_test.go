@@ -2,11 +2,13 @@ package htcondor
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"fdw/internal/classad"
+	"fdw/internal/obs"
 	"fdw/internal/sim"
 )
 
@@ -491,5 +493,87 @@ func TestQueueSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Schedd: snap") {
 		t.Fatalf("printout %q", buf.String())
+	}
+}
+
+func TestSubmitAtomicOnInvalidJob(t *testing.T) {
+	// A submission with any invalid job must leave no trace: no cluster
+	// id consumed, no prefix of the slice staged or mutated.
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	good := &Job{Owner: "u"}
+	bad := &Job{Owner: "u", Status: Running}
+	if _, err := s.Submit([]*Job{good, bad}); err == nil {
+		t.Fatal("invalid submission accepted")
+	}
+	if good.Cluster != 0 || good.Status != 0 {
+		t.Fatalf("rejected submission mutated the valid job: cluster=%d status=%v", good.Cluster, good.Status)
+	}
+	if s.QueueDepth() != 0 || s.StagedCount() != 0 || len(s.AllJobs()) != 0 {
+		t.Fatalf("rejected submission left queue state: idle=%d staged=%d all=%d",
+			s.QueueDepth(), s.StagedCount(), len(s.AllJobs()))
+	}
+	cl, err := s.Submit([]*Job{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != 1 {
+		t.Fatalf("cluster = %d, want 1: rejected submission consumed a cluster id", cl)
+	}
+}
+
+func TestSubmitGateRejectsWholeSubmission(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	s.SubmitGate = func(jobs []*Job) error {
+		return fmt.Errorf("injected submit failure for %d jobs", len(jobs))
+	}
+	j := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{j}); err == nil {
+		t.Fatal("gated submission accepted")
+	}
+	if j.Cluster != 0 || j.Status != 0 || len(s.AllJobs()) != 0 {
+		t.Fatalf("gated submission mutated state: job=%+v all=%d", j, len(s.AllJobs()))
+	}
+	// Clearing the gate restores normal service, starting at cluster 1.
+	s.SubmitGate = nil
+	if cl, err := s.Submit([]*Job{j}); err != nil || cl != 1 {
+		t.Fatalf("post-gate submit: cluster=%d err=%v", cl, err)
+	}
+}
+
+func TestSetObsMidRunGuardsPreexistingJobs(t *testing.T) {
+	// Jobs submitted before SetObs have no span: every Mark* transition
+	// must guard its span lookup (MarkRunning and MarkEvicted used to
+	// annotate unconditionally).
+	k := sim.NewKernel(1)
+	s := NewSchedd("x", k, nil)
+	early := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{early}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetObs(obs.NewRegistry(nil))
+	if err := s.MarkRunning(early, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkEvicted(early); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning(early, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkCompleted(early, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.JobSpan(early) != nil {
+		t.Fatal("span appeared for a pre-SetObs job")
+	}
+	// Jobs submitted after SetObs get the full span lifecycle.
+	late := &Job{Owner: "u"}
+	if _, err := s.Submit([]*Job{late}); err != nil {
+		t.Fatal(err)
+	}
+	if s.JobSpan(late) == nil {
+		t.Fatal("no span for a post-SetObs job")
 	}
 }

@@ -31,6 +31,13 @@ type Schedd struct {
 	// policies act on exactly these "unsubmitted" jobs. 0 = unlimited.
 	MaxIdleSubmit int
 
+	// SubmitGate, if set, is consulted with the full job slice after
+	// validation but before Submit mutates anything; a non-nil error
+	// rejects the whole submission and leaves the queue and the jobs
+	// untouched. The fault engine (internal/faults) uses it to inject
+	// schedd submit errors, which DAGMan handles as node failures.
+	SubmitGate func(jobs []*Job) error
+
 	completed int
 	removed   int
 
@@ -85,17 +92,29 @@ func (s *Schedd) notify(j *Job, ev EventType) {
 // Submit accepts jobs under a fresh cluster id. Jobs enter the queue
 // (000 event, SubmitTime stamped) immediately up to the MaxIdleSubmit
 // throttle; the rest stay staged and are released as the queue drains.
-// It returns the cluster id.
+// It returns the cluster id. Submission is atomic: the whole slice is
+// validated (and the SubmitGate consulted) before any job is staged or
+// a cluster id consumed, so a rejected submission leaves no trace.
 func (s *Schedd) Submit(jobs []*Job) (int, error) {
 	if len(jobs) == 0 {
 		return 0, fmt.Errorf("htcondor: empty submission")
 	}
-	cluster := s.nextCluster
-	s.nextCluster++
 	for i, j := range jobs {
 		if j.Status != Idle && j.Status != 0 {
 			return 0, fmt.Errorf("htcondor: job %d submitted in state %v", i, j.Status)
 		}
+	}
+	if s.SubmitGate != nil {
+		if err := s.SubmitGate(jobs); err != nil {
+			if s.obs != nil {
+				s.obs.Counter("fdw_schedd_submit_rejected_total", "schedd", s.Name).Inc()
+			}
+			return 0, err
+		}
+	}
+	cluster := s.nextCluster
+	s.nextCluster++
+	for i, j := range jobs {
 		j.Cluster = cluster
 		j.Proc = i
 		j.Status = Idle
@@ -211,7 +230,10 @@ func (s *Schedd) MarkRunning(j *Job, host string) error {
 	j.StartTime = s.kernel.Now()
 	j.Site = host
 	if s.obs != nil {
-		s.spans[j].Annotate("match")
+		// Guard the lookup: jobs submitted before SetObs have no span.
+		if sp := s.spans[j]; sp != nil {
+			sp.Annotate("match")
+		}
 		s.obs.Histogram("fdw_schedd_wait_seconds", "schedd", s.Name).
 			Observe(float64(j.StartTime - j.SubmitTime))
 		s.queueGauges()
@@ -255,7 +277,9 @@ func (s *Schedd) MarkEvicted(j *Job) error {
 	j.Site = ""
 	s.idle = append(s.idle, j)
 	if s.obs != nil {
-		s.spans[j].Annotate("evicted")
+		if sp := s.spans[j]; sp != nil {
+			sp.Annotate("evicted")
+		}
 		s.queueGauges()
 	}
 	s.appendEvent(j, EventEvicted, "")

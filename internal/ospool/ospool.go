@@ -129,12 +129,38 @@ type glidein struct {
 	done    *sim.Event // pending completion event for the running job
 }
 
+// ExecFault describes an injected outcome for one execution attempt,
+// returned by the pool's ExecFault hook. The zero value means "run
+// normally".
+type ExecFault struct {
+	// Fail makes the job exit non-zero after its normal runtime
+	// (application-level failure).
+	Fail bool
+	// BlackHole makes the job exit non-zero after a short constant
+	// runtime — the node-black-hole pathology, where a broken slot
+	// churns through jobs far faster than healthy ones finish them.
+	BlackHole bool
+	// TransferFail aborts the attempt when the input transfer completes:
+	// the job exits non-zero having done no work.
+	TransferFail bool
+}
+
+// blackHoleExecSeconds is how quickly a black-hole slot fails a job.
+const blackHoleExecSeconds = 30
+
 // Pool is the simulated OSPool.
 type Pool struct {
 	kernel *sim.Kernel
 	rng    *sim.RNG
 	cfg    Config
 	cache  *stash.Cache
+
+	// Fault-injection hooks (internal/faults). Both are optional and
+	// consulted at decision points only; they must draw any randomness
+	// from their own split sim.RNG stream, so attaching them never
+	// perturbs the pool's baseline variate sequence.
+	siteDown  func(site string, now sim.Time) bool
+	execFault func(site string, j *htcondor.Job, now sim.Time) ExecFault
 
 	schedds  []*htcondor.Schedd
 	glideins []*glidein
@@ -181,6 +207,38 @@ func (p *Pool) SetObs(r *obs.Registry) { p.obs = r }
 
 // Obs returns the attached registry (nil when observability is off).
 func (p *Pool) Obs() *obs.Registry { return p.obs }
+
+// SetSiteDown installs the site-outage hook: while fn reports a site
+// down, the factory provisions no glideins there and pilots arriving
+// from in-flight requests are discarded. nil clears the hook.
+func (p *Pool) SetSiteDown(fn func(site string, now sim.Time) bool) { p.siteDown = fn }
+
+// SetExecFault installs the per-execution fault hook, consulted once
+// per claim after the pool's own FailureProb draw. nil clears the hook.
+func (p *Pool) SetExecFault(fn func(site string, j *htcondor.Job, now sim.Time) ExecFault) {
+	p.execFault = fn
+}
+
+// DrainSite retires every live glidein at the named site, evicting
+// running jobs back to their schedds (a site outage beginning). It
+// returns how many glideins were drained. Pending requests for the
+// site still arrive unless the SiteDown hook reports it down.
+func (p *Pool) DrainSite(name string) int {
+	var doomed []*glidein
+	for _, g := range p.glideins {
+		if g.site.Name == name {
+			doomed = append(doomed, g)
+		}
+	}
+	for _, g := range doomed {
+		p.expireGlidein(g)
+	}
+	if p.obs != nil && len(doomed) > 0 {
+		p.obs.Counter("fdw_ospool_glideins_drained_total", "site", name).
+			Add(uint64(len(doomed)))
+	}
+	return len(doomed)
+}
 
 // slotGauges refreshes live/busy slot occupancy after pool changes.
 func (p *Pool) slotGauges() {
@@ -316,7 +374,8 @@ func (p *Pool) provision() {
 	}
 }
 
-// pickSite chooses a site weighted by its remaining slot headroom.
+// pickSite chooses a site weighted by its remaining slot headroom,
+// skipping sites an outage has taken down.
 func (p *Pool) pickSite() *SiteConfig {
 	used := map[string]int{}
 	for _, g := range p.glideins {
@@ -328,8 +387,12 @@ func (p *Pool) pickSite() *SiteConfig {
 	}
 	var cands []cand
 	total := 0
+	now := p.kernel.Now()
 	for i := range p.cfg.Sites {
 		s := &p.cfg.Sites[i]
+		if p.siteDown != nil && p.siteDown(s.Name, now) {
+			continue
+		}
 		free := s.MaxSlots - used[s.Name]
 		if free > 0 {
 			cands = append(cands, cand{s, free})
@@ -355,6 +418,14 @@ func (p *Pool) glideinArrives(site *SiteConfig) {
 		return
 	}
 	now := p.kernel.Now()
+	if p.siteDown != nil && p.siteDown(site.Name, now) {
+		// The pilot reached a site that has since gone down: it never
+		// reports for duty.
+		if p.obs != nil {
+			p.obs.Counter("fdw_ospool_glideins_lost_total", "site", site.Name).Inc()
+		}
+		return
+	}
 	speed := p.rng.TruncNormal(site.Speed, site.SpeedSD, site.Speed*0.6, site.Speed*1.6)
 	g := &glidein{
 		id:    p.nextID,
@@ -565,6 +636,22 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 	exitCode := 0
 	if p.cfg.FailureProb > 0 && p.rng.Bool(p.cfg.FailureProb) {
 		exitCode = 1
+	}
+	if p.execFault != nil {
+		switch fault := p.execFault(g.site.Name, job, p.kernel.Now()); {
+		case fault.TransferFail:
+			// The attempt dies when the input transfer lands: no
+			// execution, no output.
+			exitCode = 1
+			exec = 0
+			transferOut = 0
+		case fault.BlackHole:
+			exitCode = 1
+			exec = blackHoleExecSeconds
+			transferOut = 0
+		case fault.Fail:
+			exitCode = 1
+		}
 	}
 	if p.obs != nil {
 		now := p.kernel.Now()

@@ -1,6 +1,7 @@
 package ospool
 
 import (
+	"strings"
 	"testing"
 
 	"fdw/internal/htcondor"
@@ -436,5 +437,135 @@ func TestFailureProbValidation(t *testing.T) {
 	cfg.FailureProb = -0.1
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("negative FailureProb accepted")
+	}
+}
+
+func TestSiteDownHookBlocksProvisioning(t *testing.T) {
+	// With site "a" down for the whole run, every job executes on "b".
+	k := sim.NewKernel(31)
+	p, err := New(k, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSiteDown(func(site string, _ sim.Time) bool { return site == "a" })
+	s := htcondor.NewSchedd("s", k, nil)
+	p.AddSchedd(s)
+	if _, err := s.Submit(makeJobs(30, "u1", 300)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	if err := p.RunUntilDone(48 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range s.AllJobs() {
+		if j.Status != htcondor.Completed {
+			t.Fatalf("job %s in state %v", j.ID(), j.Status)
+		}
+		if strings.HasSuffix(j.Site, ".a") {
+			t.Fatalf("job %s ran on down site: %s", j.ID(), j.Site)
+		}
+	}
+}
+
+func TestDrainSiteEvictsAndWorkloadRecovers(t *testing.T) {
+	k := sim.NewKernel(32)
+	p, err := New(k, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := htcondor.NewSchedd("s", k, nil)
+	p.AddSchedd(s)
+	if _, err := s.Submit(makeJobs(40, "u1", 1800)); err != nil {
+		t.Fatal(err)
+	}
+	drained := 0
+	k.At(900, func() { drained = p.DrainSite("a") })
+	p.Start()
+	if err := p.RunUntilDone(72 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	if drained == 0 {
+		t.Fatal("DrainSite found no glideins mid-run")
+	}
+	if s.Completed() != 40 {
+		t.Fatalf("completed %d, want 40 (evicted jobs must requeue)", s.Completed())
+	}
+}
+
+func TestExecFaultHookOutcomes(t *testing.T) {
+	// A transfer fault or black hole fails the attempt; MaxRetries 0
+	// means the failure is terminal, so every job completes non-zero.
+	for _, mode := range []string{"transfer", "blackhole", "fail"} {
+		k := sim.NewKernel(33)
+		p, err := New(k, testConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetExecFault(func(site string, j *htcondor.Job, now sim.Time) ExecFault {
+			switch mode {
+			case "transfer":
+				return ExecFault{TransferFail: true}
+			case "blackhole":
+				return ExecFault{BlackHole: true}
+			default:
+				return ExecFault{Fail: true}
+			}
+		})
+		s := htcondor.NewSchedd("s", k, nil)
+		p.AddSchedd(s)
+		if _, err := s.Submit(makeJobs(10, "u1", 300)); err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		if err := p.RunUntilDone(48 * 3600); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		for _, j := range s.AllJobs() {
+			if j.Status != htcondor.Completed || j.ExitCode == 0 {
+				t.Fatalf("%s: job %s status=%v exit=%d, want failed completion",
+					mode, j.ID(), j.Status, j.ExitCode)
+			}
+			// A black hole burns the slot only briefly; a transfer fault
+			// does no execution at all.
+			if mode == "blackhole" && j.ExecSeconds() > blackHoleExecSeconds+1 {
+				t.Fatalf("black-hole job %s ran %v s", j.ID(), j.ExecSeconds())
+			}
+		}
+	}
+}
+
+func TestExecFaultRetriesRecover(t *testing.T) {
+	// With job-level MaxRetries, attempts that hit a fault window
+	// requeue; attempts after the window succeed.
+	k := sim.NewKernel(34)
+	p, err := New(k, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 2 * 3600
+	p.SetExecFault(func(site string, j *htcondor.Job, now sim.Time) ExecFault {
+		return ExecFault{Fail: now < window}
+	})
+	s := htcondor.NewSchedd("s", k, nil)
+	p.AddSchedd(s)
+	jobs := makeJobs(10, "u1", 300)
+	for _, j := range jobs {
+		j.MaxRetries = 100
+	}
+	if _, err := s.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	if err := p.RunUntilDone(48 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Status != htcondor.Completed || j.ExitCode != 0 {
+			t.Fatalf("job %s status=%v exit=%d", j.ID(), j.Status, j.ExitCode)
+		}
+	}
+	_, _, evictions := p.Stats()
+	if evictions == 0 {
+		t.Fatal("no attempts hit the fault window")
 	}
 }
