@@ -12,9 +12,12 @@
 //	-j n       concurrent simulations (default: all cores; output is
 //	           byte-identical for any -j, so -j only changes wall time)
 //
-// chaos runs the fault-injection sweep (DESIGN.md §10): the Fig. 2
-// workload under every standard fault plan, with termination and
-// job-conservation invariants enforced per cell.
+// chaos runs the fault-injection sweep as a recovery A/B matrix
+// (DESIGN.md §10–11): the Fig. 2 workload under every standard fault
+// plan, each cell once with the adaptive recovery layer off and once
+// with it on, with termination and job-conservation invariants
+// enforced per cell and per-plan makespan / wasted-CPU deltas printed
+// at the end.
 //
 // fig5 runs the bursting sweep uncapped (VDC usage, §5.3.1–5.3.2);
 // fig6 reruns it with the paper's 30% bursted-job cap for the cost and

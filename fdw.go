@@ -35,6 +35,7 @@ import (
 	"fdw/internal/htcondor"
 	"fdw/internal/obs"
 	"fdw/internal/ospool"
+	"fdw/internal/recovery"
 	"fdw/internal/sim"
 	"fdw/internal/vdc"
 	"fdw/internal/wtrace"
@@ -256,6 +257,28 @@ func NewFaultInjector(env *Env, plan FaultPlan) (*FaultInjector, error) {
 
 // StandardFaultPlans is the chaos-sweep fault-plan grid.
 func StandardFaultPlans() []FaultPlan { return faults.StandardPlans() }
+
+// Adaptive recovery layer (internal/recovery): deterministic retry
+// backoff, per-site circuit breakers, job wall-clock deadlines, and
+// straggler hedging, attached to a pool/workflow through the same
+// hook seams the fault engine uses (DESIGN.md §11).
+type (
+	RecoveryConfig = recovery.Config
+	RecoveryPolicy = recovery.Policy
+	RecoveryStats  = recovery.Stats
+)
+
+// DefaultRecoveryConfig enables all four recovery mechanisms with the
+// chaos-sweep-tuned defaults.
+func DefaultRecoveryConfig() RecoveryConfig { return recovery.DefaultConfig() }
+
+// NewRecoveryPolicy validates cfg and binds it to the environment's
+// kernel. Attach the policy to the environment's pool and the
+// workflow's schedd and executor before running — and create it after
+// any fault injector, so RNG stream splits happen in a fixed order.
+func NewRecoveryPolicy(env *Env, cfg RecoveryConfig) (*RecoveryPolicy, error) {
+	return recovery.New(env.Kernel, cfg)
+}
 
 // Experiment harness entry points (see DESIGN.md's experiment index).
 var (

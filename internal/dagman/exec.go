@@ -71,6 +71,14 @@ type Executor struct {
 	inflight int // nodes currently NodeSubmitted
 	started  bool
 
+	// RetryDelay, if set, returns how long a failed node attempt waits
+	// before its RETRY resubmission re-enters dispatch (the recovery
+	// layer's exponential backoff; attempt is the just-failed attempt
+	// number, starting at 1). nil — or a non-positive return — keeps
+	// DAGMan's classic same-tick requeue, byte-identical to the hook
+	// being absent.
+	RetryDelay func(node string, attempt int) sim.Time
+
 	// Obs, if set, receives node-lifecycle metrics (ready/running/done
 	// counts, retries, rescue writes). Purely passive: scheduling
 	// decisions never consult it.
@@ -92,7 +100,8 @@ type nodeRun struct {
 	remaining int
 	attempts  int
 	failures  int
-	retries   int // failed attempts that were requeued (RETRY budget spent)
+	retries   int  // failed attempts that were requeued (RETRY budget spent)
+	held      bool // NodeReady but waiting out a RetryDelay backoff
 }
 
 // NewExecutor prepares (but does not start) a DAG run.
@@ -222,6 +231,9 @@ func (e *Executor) dispatchReady() {
 		if nr.state != NodeWaiting && nr.state != NodeReady {
 			continue
 		}
+		if nr.held {
+			continue // backoff timer owns this node's next dispatch
+		}
 		if !e.ready(nr.node) {
 			continue
 		}
@@ -285,6 +297,26 @@ func (e *Executor) failNodeAttempted(nr *nodeRun) {
 				"dag", e.Name, "node", nr.node.Name).Inc()
 		}
 		nr.state = NodeReady
+		var delay sim.Time
+		if e.RetryDelay != nil {
+			delay = e.RetryDelay(nr.node.Name, nr.attempts)
+		}
+		if delay > 0 {
+			// Backoff: hold the node out of dispatch until the delay
+			// elapses, then requeue through the normal throttle path. A
+			// held node still counts as dispatchable, so checkComplete
+			// keeps the DAG alive until the timer fires.
+			nr.held = true
+			if e.Obs != nil {
+				e.Obs.Histogram("fdw_dagman_retry_backoff_seconds", "dag", e.Name).
+					Observe(float64(delay))
+			}
+			e.kernel.After(delay, func() {
+				nr.held = false
+				e.dispatchReady()
+			})
+			return
+		}
 		e.dispatchReady()
 		return
 	}

@@ -7,26 +7,32 @@ import (
 	"fdw/internal/core"
 	"fdw/internal/faults"
 	"fdw/internal/htcondor"
+	"fdw/internal/recovery"
 )
 
 // The chaos sweep runs the Fig. 2-scale FDW workflow under the
-// standard fault-plan grid (faults.StandardPlans) and asserts the
-// recovery invariants the paper's value proposition rests on:
+// standard fault-plan grid (faults.StandardPlans) as a recovery A/B
+// matrix — every plan runs once with recovery off and once with the
+// adaptive recovery policy (internal/recovery) on — and asserts the
+// invariants the paper's value proposition rests on:
 //
 //  1. termination — the executor reaches Done before the horizon for
-//     every plan (no deadlock or hang, even when the DAG fails);
+//     every cell (no deadlock or hang, even when the DAG fails);
 //  2. job conservation — every submitted job is accounted for:
 //     submitted = completed-ok + failed (non-zero exit) + removed;
 //  3. determinism — for a fixed seed the printed report and rows are
 //     byte-identical at any Workers value and GOMAXPROCS.
 //
-// An invariant violation is returned as an error (the sweep is a test
+// The recovery-off arm is constructed exactly as before the recovery
+// layer existed, so its rows double as a baseline-regression check. An
+// invariant violation is returned as an error (the sweep is a test
 // harness as much as an experiment).
 
-// ChaosRow is one (plan, seed) cell of the chaos sweep.
+// ChaosRow is one (plan, seed, recovery) cell of the chaos matrix.
 type ChaosRow struct {
-	Plan string
-	Seed uint64
+	Plan     string
+	Seed     uint64
+	Recovery bool // adaptive recovery policy attached
 
 	DAGDone   bool // executor terminated before the horizon
 	DAGFailed bool // at least one node exhausted its retries
@@ -39,6 +45,8 @@ type ChaosRow struct {
 	NodeRetries int     // DAGMan RETRY budget spent across nodes
 	Evictions   int     // pool preemptions + job-level requeues
 	RuntimeH    float64 // DAG wall time, hours
+	GoodputJPM  float64 // completed-ok jobs per makespan minute
+	WastedCPUH  float64 // slot hours that produced no completed work
 }
 
 // chaosWorkflowConfig is the swept workload: the Fig. 2 full-station
@@ -51,29 +59,41 @@ func chaosWorkflowConfig(opt Options, plan string, seed uint64) core.Config {
 	return cfg
 }
 
-// Chaos runs the chaos sweep and returns one row per (plan, seed), in
-// grid order. Rows are printed to opt.Out as they are aggregated; the
-// fan-out across opt.Workers leaves the bytes identical to a serial
-// run.
+// chaosRecoveryConfig is the recovery-on arm's policy configuration:
+// opt.Recovery when set, the tuned defaults otherwise.
+func chaosRecoveryConfig(opt Options) recovery.Config {
+	if opt.Recovery != nil {
+		return *opt.Recovery
+	}
+	return recovery.DefaultConfig()
+}
+
+// Chaos runs the recovery A/B chaos matrix and returns one row per
+// (plan, seed, recovery) cell in grid order, recovery-off before
+// recovery-on within each (plan, seed). Rows and per-plan deltas are
+// printed to opt.Out; the fan-out across opt.Workers leaves the bytes
+// identical to a serial run.
 func Chaos(opt Options) ([]ChaosRow, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	plans := faults.StandardPlans()
 	w := opt.out()
-	fmt.Fprintf(w, "Chaos sweep — %d fault plans × %d seeds (scale %.3f)\n", len(plans), len(opt.Seeds), opt.Scale)
-	fmt.Fprintf(w, "%15s %6s %5s %6s | %6s %6s %6s %7s | %7s %6s %10s\n",
-		"plan", "seed", "done", "dagok",
+	fmt.Fprintf(w, "Chaos sweep — %d fault plans × %d seeds × recovery {off,on} (scale %.3f)\n",
+		len(plans), len(opt.Seeds), opt.Scale)
+	fmt.Fprintf(w, "%15s %6s %4s %5s %6s | %6s %6s %6s %7s | %7s %6s %10s %8s %9s\n",
+		"plan", "seed", "rec", "done", "dagok",
 		"jobs", "ok", "fail", "removed",
-		"retries", "evict", "runtime h")
+		"retries", "evict", "runtime h", "jpm", "wasted h")
 
 	reps := len(opt.Seeds)
-	rows := make([]ChaosRow, len(plans)*reps)
+	rows := make([]ChaosRow, len(plans)*reps*2)
 	err := forEachIndex(opt.workers(), len(rows), func(i int) error {
-		plan, seed := plans[i/reps], opt.Seeds[i%reps]
-		row, err := chaosOne(opt, plan, seed)
+		cell := i / 2
+		plan, seed, rec := plans[cell/reps], opt.Seeds[cell%reps], i%2 == 1
+		row, err := chaosOne(opt, plan, seed, rec)
 		if err != nil {
-			return fmt.Errorf("chaos plan %q seed %d: %w", plan.Name, seed, err)
+			return fmt.Errorf("chaos plan %q seed %d recovery %t: %w", plan.Name, seed, rec, err)
 		}
 		rows[i] = row
 		return nil
@@ -86,16 +106,105 @@ func Chaos(opt Options) ([]ChaosRow, error) {
 		if r.DAGFailed {
 			dagok = "FAILED"
 		}
-		fmt.Fprintf(w, "%15s %6d %5t %6s | %6d %6d %6d %7d | %7d %6d %10.2f\n",
-			r.Plan, r.Seed, r.DAGDone, dagok,
+		rec := "off"
+		if r.Recovery {
+			rec = "on"
+		}
+		fmt.Fprintf(w, "%15s %6d %4s %5t %6s | %6d %6d %6d %7d | %7d %6d %10.2f %8.2f %9.2f\n",
+			r.Plan, r.Seed, rec, r.DAGDone, dagok,
 			r.Submitted, r.CompletedOK, r.FailedJobs, r.Removed,
-			r.NodeRetries, r.Evictions, r.RuntimeH)
+			r.NodeRetries, r.Evictions, r.RuntimeH, r.GoodputJPM, r.WastedCPUH)
 	}
+	printChaosDeltas(w, rows)
 	return rows, nil
 }
 
-// chaosOne simulates one (plan, seed) cell and checks its invariants.
-func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
+// printChaosDeltas summarizes recovery-on minus recovery-off per
+// (plan, seed) pair and the improve-or-tie tally the acceptance
+// criterion tracks.
+func printChaosDeltas(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintf(w, "Recovery deltas (on − off):\n")
+	fmt.Fprintf(w, "%15s %6s | %11s %13s %8s\n", "plan", "seed", "makespan h", "wasted cpu-h", "retries")
+	type pairKey struct {
+		plan string
+		seed uint64
+	}
+	off := map[pairKey]ChaosRow{}
+	for _, r := range rows {
+		if !r.Recovery {
+			off[pairKey{r.Plan, r.Seed}] = r
+		}
+	}
+	planOK := map[string]bool{}
+	var planOrder []string
+	for _, r := range rows {
+		if !r.Recovery {
+			continue
+		}
+		o := off[pairKey{r.Plan, r.Seed}]
+		fmt.Fprintf(w, "%15s %6d | %+11.2f %+13.2f %+8d\n",
+			r.Plan, r.Seed, r.RuntimeH-o.RuntimeH, r.WastedCPUH-o.WastedCPUH,
+			r.NodeRetries-o.NodeRetries)
+		if _, seen := planOK[r.Plan]; !seen {
+			planOK[r.Plan] = true
+			planOrder = append(planOrder, r.Plan)
+		}
+		if r.RuntimeH > o.RuntimeH || r.WastedCPUH > o.WastedCPUH {
+			planOK[r.Plan] = false
+		}
+	}
+	improved := 0
+	for _, p := range planOrder {
+		if planOK[p] {
+			improved++
+		}
+	}
+	fmt.Fprintf(w, "improved-or-tied (makespan AND wasted cpu): %d/%d plans\n", improved, len(planOrder))
+}
+
+// ChaosImprovedOrTied counts plans where every recovery-on cell is no
+// worse than its recovery-off twin on both makespan and wasted CPU,
+// returning (improved, total plans).
+func ChaosImprovedOrTied(rows []ChaosRow) (improved, total int) {
+	type pairKey struct {
+		plan string
+		seed uint64
+	}
+	off := map[pairKey]ChaosRow{}
+	for _, r := range rows {
+		if !r.Recovery {
+			off[pairKey{r.Plan, r.Seed}] = r
+		}
+	}
+	ok := map[string]bool{}
+	var order []string
+	for _, r := range rows {
+		if !r.Recovery {
+			continue
+		}
+		if _, seen := ok[r.Plan]; !seen {
+			ok[r.Plan] = true
+			order = append(order, r.Plan)
+		}
+		o := off[pairKey{r.Plan, r.Seed}]
+		if r.RuntimeH > o.RuntimeH || r.WastedCPUH > o.WastedCPUH {
+			ok[r.Plan] = false
+		}
+	}
+	for _, p := range order {
+		if ok[p] {
+			improved++
+		}
+	}
+	return improved, len(order)
+}
+
+// chaosOne simulates one (plan, seed, recovery) cell and checks its
+// invariants. The recovery-off arm builds env → workflow → injector
+// exactly as the pre-recovery sweep did; the recovery-on arm creates
+// the policy last, so the injector's RNG stream is unchanged between
+// arms.
+func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, error) {
 	var row ChaosRow
 	env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 	if err != nil {
@@ -111,6 +220,15 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
 	}
 	inj.SetObs(opt.Obs)
 	inj.Attach(env.Pool, wf.Schedd)
+	if rec {
+		pol, err := recovery.New(env.Kernel, chaosRecoveryConfig(opt))
+		if err != nil {
+			return row, err
+		}
+		pol.SetObs(opt.Obs)
+		pol.Attach(env.Pool, wf.Schedd)
+		pol.AttachExecutor(wf.Exec)
+	}
 	// Invariant 1 (termination): RunBatch errors iff the executor did
 	// not reach Done by the horizon. A DAG whose node exhausted its
 	// retries still terminates — that is the recovery contract under
@@ -142,6 +260,7 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
 	row = ChaosRow{
 		Plan:        plan.Name,
 		Seed:        seed,
+		Recovery:    rec,
 		DAGDone:     wf.Exec.Done(),
 		DAGFailed:   wf.Exec.Failed(),
 		Submitted:   submitted,
@@ -151,6 +270,10 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
 		NodeRetries: wf.Exec.TotalRetries(),
 		Evictions:   evictions,
 		RuntimeH:    wf.RuntimeHours(),
+		WastedCPUH:  env.Pool.WastedSeconds() / 3600,
+	}
+	if mins := row.RuntimeH * 60; mins > 0 {
+		row.GoodputJPM = float64(ok) / mins
 	}
 	if !row.DAGDone {
 		return row, fmt.Errorf("termination invariant: executor not done after RunBatch")
@@ -158,20 +281,20 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64) (ChaosRow, error) {
 	return row, nil
 }
 
-// WriteChaosCSV writes the chaos-sweep rows.
+// WriteChaosCSV writes the chaos-matrix rows.
 func WriteChaosCSV(w io.Writer, rows []ChaosRow) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {
 		out[i] = []string{
-			r.Plan, fmt.Sprintf("%d", r.Seed),
+			r.Plan, fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%t", r.Recovery),
 			fmt.Sprintf("%t", r.DAGDone), fmt.Sprintf("%t", r.DAGFailed),
 			d(r.Submitted), d(r.CompletedOK), d(r.FailedJobs), d(r.Removed),
-			d(r.NodeRetries), d(r.Evictions), f(r.RuntimeH),
+			d(r.NodeRetries), d(r.Evictions), f(r.RuntimeH), f(r.GoodputJPM), f(r.WastedCPUH),
 		}
 	}
 	return writeCSV(w, []string{
-		"plan", "seed", "dag_done", "dag_failed",
+		"plan", "seed", "recovery", "dag_done", "dag_failed",
 		"submitted", "completed_ok", "failed", "removed",
-		"node_retries", "evictions", "runtime_h",
+		"node_retries", "evictions", "runtime_h", "goodput_jpm", "wasted_cpu_h",
 	}, out)
 }

@@ -20,26 +20,28 @@ func chaosOptions() Options {
 	return opt
 }
 
-// TestChaosSweepShort is the CI chaos entry point: the full standard
-// plan grid at small scale, with the sweep's own invariants (termination
-// and job conservation) enforced inside Chaos, plus cross-worker
-// byte-identity checked here.
-func TestChaosSweepShort(t *testing.T) {
-	run := func(workers int) ([]ChaosRow, string) {
-		opt := chaosOptions()
-		opt.Workers = workers
-		var out bytes.Buffer
-		opt.Out = &out
-		rows, err := Chaos(opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rows, out.String()
+func runChaos(t *testing.T, workers int) ([]ChaosRow, string) {
+	t.Helper()
+	opt := chaosOptions()
+	opt.Workers = workers
+	var out bytes.Buffer
+	opt.Out = &out
+	rows, err := Chaos(opt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	rows1, out1 := run(1)
-	rows4, out4 := run(4)
+	return rows, out.String()
+}
 
-	if want := len(faults.StandardPlans()) * len(chaosOptions().Seeds); len(rows1) != want {
+// TestChaosSweepShort is the CI chaos entry point: the full standard
+// plan grid × recovery {off,on} at small scale, with the sweep's own
+// invariants (termination and job conservation) enforced inside Chaos,
+// plus cross-worker byte-identity checked here.
+func TestChaosSweepShort(t *testing.T) {
+	rows1, out1 := runChaos(t, 1)
+	rows4, out4 := runChaos(t, 4)
+
+	if want := len(faults.StandardPlans()) * len(chaosOptions().Seeds) * 2; len(rows1) != want {
 		t.Fatalf("%d rows, want %d", len(rows1), want)
 	}
 	if !reflect.DeepEqual(rows1, rows4) {
@@ -49,13 +51,19 @@ func TestChaosSweepShort(t *testing.T) {
 		t.Fatalf("-j 1 and -j 4 chaos reports differ:\n--- j1 ---\n%s\n--- j4 ---\n%s", out1, out4)
 	}
 
-	byPlan := map[string]ChaosRow{}
-	for _, r := range rows1 {
-		byPlan[r.Plan] = r
+	type arm struct {
+		plan     string
+		recovery bool
 	}
-	base := byPlan["baseline"]
-	if base.DAGFailed || base.FailedJobs != 0 {
-		t.Fatalf("baseline plan saw failures: %+v", base)
+	byArm := map[arm]ChaosRow{}
+	for _, r := range rows1 {
+		byArm[arm{r.Plan, r.Recovery}] = r
+	}
+	for _, rec := range []bool{false, true} {
+		base := byArm[arm{"baseline", rec}]
+		if base.DAGFailed || base.FailedJobs != 0 {
+			t.Fatalf("baseline plan (recovery %t) saw failures: %+v", rec, base)
+		}
 	}
 	// The fault plans must actually bite: across the grid some jobs
 	// fail and some DAGMan retry budget is spent.
@@ -69,6 +77,35 @@ func TestChaosSweepShort(t *testing.T) {
 	}
 	if retries == 0 {
 		t.Fatal("no plan consumed DAGMan retry budget")
+	}
+}
+
+// TestChaosRecoveryImprovesOrTies is the recovery A/B acceptance
+// criterion: with the default policy on, makespan and wasted CPU are no
+// worse than recovery-off on at least 5 of the 7 standard plans, and
+// recovery measurably reduces wasted CPU somewhere in the grid.
+func TestChaosRecoveryImprovesOrTies(t *testing.T) {
+	rows, _ := runChaos(t, 4)
+	improved, total := ChaosImprovedOrTied(rows)
+	if total != len(faults.StandardPlans()) {
+		t.Fatalf("delta tally covered %d plans, want %d", total, len(faults.StandardPlans()))
+	}
+	if improved < 5 {
+		t.Fatalf("recovery improved-or-tied on %d/%d plans, want >= 5:\n%+v", improved, total, rows)
+	}
+	var strictly bool
+	for _, r := range rows {
+		if !r.Recovery {
+			continue
+		}
+		for _, o := range rows {
+			if !o.Recovery && o.Plan == r.Plan && o.Seed == r.Seed && r.WastedCPUH < o.WastedCPUH {
+				strictly = true
+			}
+		}
+	}
+	if !strictly {
+		t.Fatal("recovery never strictly reduced wasted CPU on any plan")
 	}
 }
 
@@ -93,7 +130,7 @@ func TestChaosCountsInjectedFaults(t *testing.T) {
 
 func TestChaosCSV(t *testing.T) {
 	rows := []ChaosRow{{
-		Plan: "baseline", Seed: 11, DAGDone: true,
+		Plan: "baseline", Seed: 11, Recovery: true, DAGDone: true,
 		Submitted: 10, CompletedOK: 10, RuntimeH: 1.5,
 	}}
 	var buf bytes.Buffer
@@ -101,7 +138,7 @@ func TestChaosCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.Contains(got, "plan,seed,dag_done") || !strings.Contains(got, "baseline,11,true") {
+	if !strings.Contains(got, "plan,seed,recovery,dag_done") || !strings.Contains(got, "baseline,11,true,true") {
 		t.Fatalf("csv:\n%s", got)
 	}
 }

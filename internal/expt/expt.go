@@ -13,6 +13,7 @@ import (
 	"fdw/internal/core"
 	"fdw/internal/obs"
 	"fdw/internal/ospool"
+	"fdw/internal/recovery"
 	"fdw/internal/sim"
 	"fdw/internal/stats"
 )
@@ -41,6 +42,31 @@ type Options struct {
 	// with Obs on or off (instrumentation is strictly passive). nil
 	// disables metrics.
 	Obs *obs.Registry
+	// Recovery, if set, attaches an adaptive recovery policy
+	// (internal/recovery) to every single-DAGMan simulation (the Fig. 2
+	// harness and the Fig. 5/6 trace batches). nil — or a config with
+	// every mechanism disabled — leaves all reports byte-identical to
+	// pre-recovery runs. The chaos sweep ignores this field's nil-ness:
+	// it always runs its recovery-on arm, using this config when set and
+	// recovery.DefaultConfig() otherwise.
+	Recovery *recovery.Config
+}
+
+// attachRecovery installs opt.Recovery (when set) into a freshly built
+// workflow's pool, schedd, and executor. Must run after the injector
+// (if any) is created, so RNG stream splits happen in a fixed order.
+func attachRecovery(opt Options, env *core.Env, w *core.Workflow) error {
+	if opt.Recovery == nil {
+		return nil
+	}
+	pol, err := recovery.New(env.Kernel, *opt.Recovery)
+	if err != nil {
+		return err
+	}
+	pol.SetObs(opt.Obs)
+	pol.Attach(env.Pool, w.Schedd)
+	pol.AttachExecutor(w.Exec)
+	return nil
 }
 
 // DefaultOptions mirrors the paper: three repetitions at full scale.
@@ -91,6 +117,9 @@ func runOne(opt Options, cfg core.Config, seed uint64) (float64, float64, int, e
 	}
 	w, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
 	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := attachRecovery(opt, env, w); err != nil {
 		return 0, 0, 0, err
 	}
 	if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {

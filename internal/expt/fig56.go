@@ -59,6 +59,9 @@ func MakeBatchTraces(opt Options) (batches []wtrace.BatchRecord, jobs [][]wtrace
 		if err != nil {
 			return err
 		}
+		if err := attachRecovery(opt, env, w); err != nil {
+			return err
+		}
 		if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {
 			return fmt.Errorf("trace batch %d: %w", i+1, err)
 		}

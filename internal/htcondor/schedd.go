@@ -217,6 +217,16 @@ func (s *Schedd) dropIdle(j *Job) bool {
 	return false
 }
 
+func (s *Schedd) dropStaged(j *Job) bool {
+	for i, q := range s.staged {
+		if q == j {
+			s.staged = append(s.staged[:i], s.staged[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // MarkRunning transitions an idle job to running on the named host.
 // The negotiator calls this when a match is claimed.
 func (s *Schedd) MarkRunning(j *Job, host string) error {
@@ -287,13 +297,15 @@ func (s *Schedd) MarkEvicted(j *Job) error {
 	return nil
 }
 
-// Remove aborts a job (condor_rm): idle jobs leave the queue, running
-// jobs are stopped by the caller first. The bursting simulator's
-// Policy 2 removes long-queued jobs this way before offloading them.
+// Remove aborts a job (condor_rm): idle jobs leave the queue (staged
+// jobs leave the staging buffer), running jobs are stopped by the
+// caller first. The bursting simulator's Policy 2 removes long-queued
+// jobs this way before offloading them; the recovery layer removes
+// losing hedge attempts.
 func (s *Schedd) Remove(j *Job) error {
 	switch j.Status {
 	case Idle:
-		if !s.dropIdle(j) {
+		if !s.dropIdle(j) && !s.dropStaged(j) {
 			return fmt.Errorf("htcondor: job %s not in idle queue", j.ID())
 		}
 	case Running:
@@ -311,5 +323,59 @@ func (s *Schedd) Remove(j *Job) error {
 	s.appendEvent(j, EventAborted, "")
 	s.pump()
 	s.notify(j, EventAborted)
+	return nil
+}
+
+// AbortRunning transitions a running job straight to Removed. The
+// caller must already have torn down the job's claim (the pool's
+// CancelClaim) — this is the condor_rm of a running job whose slot the
+// recovery layer reclaimed, e.g. the losing attempt of a hedge pair.
+func (s *Schedd) AbortRunning(j *Job) error {
+	if j.Status != Running {
+		return fmt.Errorf("htcondor: AbortRunning on %v job %s", j.Status, j.ID())
+	}
+	j.Status = Removed
+	j.EndTime = s.kernel.Now()
+	s.removed++
+	if sp := s.spans[j]; sp != nil {
+		sp.End("removed")
+		delete(s.spans, j)
+	}
+	s.appendEvent(j, EventAborted, j.Site)
+	s.pump()
+	s.notify(j, EventAborted)
+	return nil
+}
+
+// AdoptResult finalizes j as completed with the given exit code even
+// though the schedd never saw the attempt finish: the recovery layer
+// grafts the winning hedge clone's result onto the original job. Idle
+// originals (queued or staged) simply leave the queue; running
+// originals must have had their claim torn down via the pool's
+// CancelClaim first.
+func (s *Schedd) AdoptResult(j *Job, exitCode int) error {
+	switch j.Status {
+	case Idle:
+		if !s.dropIdle(j) && !s.dropStaged(j) {
+			return fmt.Errorf("htcondor: AdoptResult on unknown idle job %s", j.ID())
+		}
+	case Running:
+		// Claim already cancelled by the caller.
+	default:
+		return fmt.Errorf("htcondor: AdoptResult on %v job %s", j.Status, j.ID())
+	}
+	j.Status = Completed
+	j.EndTime = s.kernel.Now()
+	j.ExitCode = exitCode
+	s.completed++
+	if s.obs != nil {
+		if sp := s.spans[j]; sp != nil {
+			sp.End("adopted")
+			delete(s.spans, j)
+		}
+	}
+	s.appendEvent(j, EventTerminated, j.Site)
+	s.pump()
+	s.notify(j, EventTerminated)
 	return nil
 }

@@ -148,6 +148,58 @@ type ExecFault struct {
 // blackHoleExecSeconds is how quickly a black-hole slot fails a job.
 const blackHoleExecSeconds = 30
 
+// AttemptOutcome classifies how one execution attempt ended, for the
+// recovery layer's failure accounting.
+type AttemptOutcome int
+
+// Attempt outcomes reported to the RecoveryHook.
+const (
+	AttemptOK        AttemptOutcome = iota
+	AttemptFailed                   // exited non-zero (exec fault, black hole, transfer fail)
+	AttemptDeadline                 // evicted by the recovery layer's wall-clock deadline
+	AttemptPreempted                // glidein lifetime/drain preemption
+)
+
+func (o AttemptOutcome) String() string {
+	switch o {
+	case AttemptOK:
+		return "ok"
+	case AttemptFailed:
+		return "failed"
+	case AttemptDeadline:
+		return "deadline"
+	case AttemptPreempted:
+		return "preempted"
+	default:
+		return fmt.Sprintf("AttemptOutcome(%d)", int(o))
+	}
+}
+
+// RecoveryHook is the narrow seam the adaptive recovery layer
+// (internal/recovery) plugs into the pool, mirroring SetSiteDown: the
+// pool consults it at decision points and reports every attempt outcome
+// back to it. A nil hook disables all recovery behaviour and leaves the
+// pool byte-identical to the pre-hook code. Implementations must draw
+// any randomness from their own split sim.RNG stream.
+type RecoveryHook interface {
+	// VetoMatch reports whether matchmaking at site is currently vetoed
+	// (an open circuit breaker). Vetoed slots are skipped in the
+	// negotiator's scan; the job stays idle and renegotiates later.
+	VetoMatch(site string, now sim.Time) bool
+	// JobDeadlineSeconds returns the wall-clock budget for one attempt
+	// of j (transfer + execution). Non-positive means unlimited. An
+	// attempt exceeding its budget is evicted back to the queue.
+	JobDeadlineSeconds(j *htcondor.Job, now sim.Time) float64
+	// AttemptStarted fires when a claim begins executing j at site.
+	AttemptStarted(site string, j *htcondor.Job, now sim.Time)
+	// AttemptEnded fires when the attempt leaves its slot; ranSeconds is
+	// how long the slot was held.
+	AttemptEnded(site string, j *htcondor.Job, outcome AttemptOutcome, ranSeconds float64, now sim.Time)
+	// OpenBreakers lists sites whose breakers are open (sorted), for the
+	// pool's horizon-timeout diagnostics.
+	OpenBreakers(now sim.Time) []string
+}
+
 // Pool is the simulated OSPool.
 type Pool struct {
 	kernel *sim.Kernel
@@ -161,6 +213,11 @@ type Pool struct {
 	// perturbs the pool's baseline variate sequence.
 	siteDown  func(site string, now sim.Time) bool
 	execFault func(site string, j *htcondor.Job, now sim.Time) ExecFault
+
+	// recovery, if set, is the adaptive recovery layer's seam (see
+	// RecoveryHook). Like the fault hooks it is consulted at decision
+	// points only and must not perturb the pool's variate sequence.
+	recovery RecoveryHook
 
 	schedds  []*htcondor.Schedd
 	glideins []*glidein
@@ -176,6 +233,12 @@ type Pool struct {
 	started   int
 	completed int
 	evictions int
+
+	// wastedSeconds accumulates slot time that produced no completed
+	// work: failed attempts, preemptions, deadline evictions, and
+	// cancelled claims. Recovery A/B reporting reads it; nothing in the
+	// pool's own scheduling ever does.
+	wastedSeconds float64
 
 	obs *obs.Registry
 }
@@ -218,6 +281,10 @@ func (p *Pool) SetSiteDown(fn func(site string, now sim.Time) bool) { p.siteDown
 func (p *Pool) SetExecFault(fn func(site string, j *htcondor.Job, now sim.Time) ExecFault) {
 	p.execFault = fn
 }
+
+// SetRecovery installs the adaptive recovery hook (internal/recovery).
+// nil clears it, restoring the exact baseline behaviour.
+func (p *Pool) SetRecovery(h RecoveryHook) { p.recovery = h }
 
 // DrainSite retires every live glidein at the named site, evicting
 // running jobs back to their schedds (a site outage beginning). It
@@ -285,6 +352,11 @@ func (p *Pool) SlotCount() int { return len(p.glideins) }
 func (p *Pool) Stats() (started, completed, evictions int) {
 	return p.started, p.completed, p.evictions
 }
+
+// WastedSeconds returns cumulative slot time that produced no completed
+// work (failed attempts, preemptions, deadline evictions, cancelled
+// claims) — the recovery A/B matrix's wasted-CPU metric.
+func (p *Pool) WastedSeconds() float64 { return p.wastedSeconds }
 
 // availability is the opportunistic capacity fraction at time t:
 // a smooth cycle (other communities' load) with deterministic jitter.
@@ -463,8 +535,13 @@ func (p *Pool) expireGlidein(g *glidein) {
 		job, schedd := g.job, g.schedd
 		g.job, g.schedd, g.done = nil, nil, nil
 		p.evictions++
+		elapsed := float64(p.kernel.Now() - job.StartTime)
+		p.wastedSeconds += elapsed
 		if p.obs != nil {
 			p.obs.Counter("fdw_ospool_preemptions_total", "site", g.site.Name).Inc()
+		}
+		if p.recovery != nil {
+			p.recovery.AttemptEnded(g.site.Name, job, AttemptPreempted, elapsed, p.kernel.Now())
 		}
 		_ = schedd.MarkEvicted(job)
 	}
@@ -573,6 +650,9 @@ func (p *Pool) negotiate() {
 			job := os.queue[0]
 			slot := -1
 			for i, g := range free {
+				if p.recovery != nil && p.recovery.VetoMatch(g.site.Name, p.kernel.Now()) {
+					continue // open circuit breaker: site sits out this cycle
+				}
 				ok, err := job.Matches(g.ad)
 				if err == nil && ok {
 					slot = i
@@ -614,11 +694,13 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 	p.started++
 
 	transferIn := 0.0
+	transferKey := ""
 	if p.cache != nil && job.InputBytes > 0 {
 		key := job.InputKey
 		if key == "" {
 			key = fmt.Sprintf("job-%s", job.ID())
 		}
+		transferKey = key
 		transferIn = p.cache.TransferSeconds(g.site.Name, stash.Object{Key: key, Bytes: job.InputBytes})
 	}
 	exec := job.BaseExecSeconds * g.speed
@@ -637,6 +719,7 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 	if p.cfg.FailureProb > 0 && p.rng.Bool(p.cfg.FailureProb) {
 		exitCode = 1
 	}
+	transferAborted := false
 	if p.execFault != nil {
 		switch fault := p.execFault(g.site.Name, job, p.kernel.Now()); {
 		case fault.TransferFail:
@@ -645,6 +728,7 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 			exitCode = 1
 			exec = 0
 			transferOut = 0
+			transferAborted = true
 		case fault.BlackHole:
 			exitCode = 1
 			exec = blackHoleExecSeconds
@@ -652,6 +736,14 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 		case fault.Fail:
 			exitCode = 1
 		}
+	}
+	if transferKey != "" && !transferAborted {
+		// Only a delivery that actually lands warms the regional cache;
+		// a retry after an aborted transfer pays origin bandwidth again.
+		p.cache.Commit(g.site.Name, transferKey)
+	}
+	if p.recovery != nil {
+		p.recovery.AttemptStarted(g.site.Name, job, p.kernel.Now())
 	}
 	if p.obs != nil {
 		now := p.kernel.Now()
@@ -664,6 +756,35 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 		}
 	}
 	total := sim.Time(transferIn + exec + transferOut)
+	if p.recovery != nil {
+		if d := p.recovery.JobDeadlineSeconds(job, p.kernel.Now()); d > 0 && sim.Time(d) < total {
+			// The attempt will outrun its wall-clock budget (HTCondor
+			// periodic_remove analogue): evict at the deadline instead of
+			// letting a black-hole or straggler slot hold the job until
+			// the horizon. Deadline evictions do not consume the job's
+			// max_retries budget — the job renegotiates like a preemption.
+			deadline := sim.Time(d)
+			g.done = p.kernel.After(deadline, func() {
+				g.done = nil
+				if g.job != job {
+					return // evicted meanwhile
+				}
+				g.job, g.schedd = nil, nil
+				g.idleAt = p.kernel.Now()
+				p.evictions++
+				p.wastedSeconds += float64(deadline)
+				if p.obs != nil {
+					p.obs.Counter("fdw_ospool_deadline_evictions_total", "site", g.site.Name).Inc()
+				}
+				if p.recovery != nil {
+					p.recovery.AttemptEnded(g.site.Name, job, AttemptDeadline, float64(deadline), p.kernel.Now())
+				}
+				_ = schedd.MarkEvicted(job)
+				p.slotGauges()
+			})
+			return
+		}
+	}
 	g.done = p.kernel.After(total, func() {
 		g.done = nil
 		if g.job != job {
@@ -671,6 +792,16 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 		}
 		g.job, g.schedd = nil, nil
 		g.idleAt = p.kernel.Now()
+		if exitCode != 0 {
+			p.wastedSeconds += float64(total)
+		}
+		if p.recovery != nil {
+			outcome := AttemptOK
+			if exitCode != 0 {
+				outcome = AttemptFailed
+			}
+			p.recovery.AttemptEnded(g.site.Name, job, outcome, float64(total), p.kernel.Now())
+		}
 		if exitCode != 0 && job.Failures < job.MaxRetries {
 			// Job-level retry (max_retries): the failed attempt
 			// re-queues instead of terminating the job.
@@ -686,6 +817,32 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 		_ = schedd.MarkCompleted(job, exitCode)
 		p.slotGauges()
 	})
+}
+
+// CancelClaim tears down the running claim for j, freeing its glidein
+// without changing the job's schedd state — the caller decides what the
+// job becomes next (the recovery layer's hedging uses this to reclaim
+// the losing attempt's slot before AdoptResult/AbortRunning). The
+// slot's elapsed time counts as wasted. It reports whether a running
+// claim for j was found.
+func (p *Pool) CancelClaim(j *htcondor.Job) bool {
+	for _, g := range p.glideins {
+		if g.job == j {
+			if g.done != nil {
+				g.done.Cancel()
+				g.done = nil
+			}
+			g.job, g.schedd = nil, nil
+			g.idleAt = p.kernel.Now()
+			p.wastedSeconds += float64(p.kernel.Now() - j.StartTime)
+			if p.obs != nil {
+				p.obs.Counter("fdw_ospool_claims_cancelled_total", "site", g.site.Name).Inc()
+			}
+			p.slotGauges()
+			return true
+		}
+	}
+	return false
 }
 
 // RunUntilDone advances the kernel until every registered schedd has
@@ -707,7 +864,40 @@ func (p *Pool) RunUntilDone(horizon sim.Time) error {
 	}
 	p.Stop()
 	if !allDone() {
-		return fmt.Errorf("ospool: workload not drained by horizon %v (completed %d)", horizon, p.completed)
+		return fmt.Errorf("ospool: workload not drained by horizon %v (completed %d): %s",
+			horizon, p.completed, p.stuckDiagnostic())
 	}
 	return nil
+}
+
+// stuckDiagnostic summarizes queue and pool state for the horizon
+// timeout error, so a chaos-sweep failure is debuggable from the error
+// string alone.
+func (p *Pool) stuckDiagnostic() string {
+	var idle, running, held, staged, completed, removed int
+	for _, s := range p.schedds {
+		staged += s.StagedCount()
+		idle += len(s.IdleJobs())
+		for _, j := range s.AllJobs() {
+			switch j.Status {
+			case htcondor.Running:
+				running++
+			case htcondor.Held:
+				held++
+			case htcondor.Completed:
+				completed++
+			case htcondor.Removed:
+				removed++
+			}
+		}
+	}
+	msg := fmt.Sprintf("jobs idle=%d running=%d held=%d staged=%d completed=%d removed=%d; glideins live=%d busy=%d pending=%d",
+		idle, running, held, staged, completed, removed,
+		len(p.glideins), p.RunningCount(), p.pending)
+	if p.recovery != nil {
+		if open := p.recovery.OpenBreakers(p.kernel.Now()); len(open) > 0 {
+			msg += fmt.Sprintf("; open breakers=%v", open)
+		}
+	}
+	return msg
 }

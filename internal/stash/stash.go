@@ -72,29 +72,25 @@ func (c *Cache) SetObs(r *obs.Registry) {
 	c.mu.Unlock()
 }
 
-// TransferSeconds returns the time to deliver obj to site and records
-// the object as cached there afterwards. Zero-byte objects cost only
-// the setup latency.
+// TransferSeconds returns the time to deliver obj to site. It does NOT
+// mark the object warm: a transfer can still be aborted mid-flight (an
+// injected TransferFail kills the attempt as the input lands), so the
+// caller must call Commit once the delivery actually succeeds. Zero-byte
+// objects cost only the setup latency.
 func (c *Cache) TransferSeconds(site string, obj Object) float64 {
 	if obj.Bytes < 0 {
 		obj.Bytes = 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	siteMap := c.warm[site]
-	if siteMap == nil {
-		siteMap = map[string]bool{}
-		c.warm[site] = siteMap
-	}
 	bps := c.cfg.OriginBps
 	tier := "origin"
-	if siteMap[obj.Key] {
+	if c.warm[site][obj.Key] {
 		bps = c.cfg.CacheBps
 		tier = "cache"
 		c.hits++
 	} else {
 		c.miss++
-		siteMap[obj.Key] = true
 	}
 	if c.obs != nil {
 		if tier == "cache" {
@@ -107,11 +103,26 @@ func (c *Cache) TransferSeconds(site string, obj Object) float64 {
 	return c.cfg.LatencyS + float64(obj.Bytes)/bps
 }
 
+// Commit records a successful delivery of key to site: later fetches
+// there hit the regional cache. Callers commit only after the transfer
+// completed — an aborted transfer leaves the cache cold, so the retry
+// pays origin bandwidth again.
+func (c *Cache) Commit(site, key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markWarm(site, key)
+}
+
 // Prewarm marks obj as already cached at site (e.g. the Singularity
 // image distributed ahead of the run).
 func (c *Cache) Prewarm(site string, key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.markWarm(site, key)
+}
+
+// markWarm requires c.mu held.
+func (c *Cache) markWarm(site, key string) {
 	siteMap := c.warm[site]
 	if siteMap == nil {
 		siteMap = map[string]bool{}

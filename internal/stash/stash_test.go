@@ -18,6 +18,7 @@ func TestColdThenWarm(t *testing.T) {
 	c := newCache(t)
 	obj := Object{Key: "image.sif", Bytes: 1000}
 	cold := c.TransferSeconds("siteA", obj)
+	c.Commit("siteA", obj.Key)
 	warm := c.TransferSeconds("siteA", obj)
 	if cold != 2+10 {
 		t.Fatalf("cold = %v, want 12", cold)
@@ -31,12 +32,32 @@ func TestColdThenWarm(t *testing.T) {
 	}
 }
 
+// TestTransferDoesNotWarmWithoutCommit pins the warm-on-failure fix:
+// pricing a transfer must not warm the cache — only Commit (a completed
+// delivery) may, so an aborted transfer's retry pays origin bandwidth.
+func TestTransferDoesNotWarmWithoutCommit(t *testing.T) {
+	c := newCache(t)
+	obj := Object{Key: "gf.mseed", Bytes: 1000}
+	first := c.TransferSeconds("siteA", obj)
+	second := c.TransferSeconds("siteA", obj)
+	if first != second || first != 2+10 {
+		t.Fatalf("uncommitted refetch = %v then %v, want cold 12 both times", first, second)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits %d misses %d, want 0/2", hits, misses)
+	}
+}
+
 func TestSitesAreIndependent(t *testing.T) {
 	c := newCache(t)
 	obj := Object{Key: "gf.mseed", Bytes: 500}
 	c.TransferSeconds("siteA", obj)
+	c.Commit("siteA", obj.Key)
 	if got := c.TransferSeconds("siteB", obj); got != 2+5 {
 		t.Fatalf("siteB first fetch = %v, want cold 7", got)
+	}
+	if got := c.TransferSeconds("siteA", obj); got != 2+0.5 {
+		t.Fatalf("siteA warm fetch = %v, want 2.5", got)
 	}
 }
 
@@ -91,6 +112,7 @@ func TestPropertyWarmNeverSlowerThanCold(t *testing.T) {
 		}
 		obj := Object{Key: "k", Bytes: int64(bytesRaw)}
 		cold := c.TransferSeconds("s", obj)
+		c.Commit("s", obj.Key)
 		warm := c.TransferSeconds("s", obj)
 		return warm <= cold
 	}

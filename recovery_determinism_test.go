@@ -1,0 +1,100 @@
+package fdw_test
+
+// The recovery layer's nil-off contract at repo level: attaching a
+// policy with every mechanism disabled must not change a single byte
+// of any printed report or CSV relative to no policy at all, because a
+// disabled mechanism takes the exact pre-recovery code paths (and the
+// policy's private RNG stream never perturbs anyone else's). This is
+// the byte-identity half of the chaos A/B design — the recovery-off
+// arm of every experiment doubles as a baseline-regression check.
+
+import (
+	"bytes"
+	"testing"
+
+	"fdw"
+	"fdw/internal/expt"
+)
+
+func TestDisabledRecoveryPolicyIsByteIdentical(t *testing.T) {
+	baseReport, baseCSV := fig2Output(t, false, 1)
+
+	disabled := func(workers int) (report, csv []byte) {
+		opt := fdw.DefaultExperimentOptions()
+		opt.Scale = 0.002
+		opt.Seeds = []uint64{11}
+		opt.Workers = workers
+		opt.Recovery = &fdw.RecoveryConfig{} // attached, all mechanisms off
+		var out bytes.Buffer
+		opt.Out = &out
+		rows, err := fdw.Fig2(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csvBuf bytes.Buffer
+		if err := expt.WriteFig2CSV(&csvBuf, rows); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), csvBuf.Bytes()
+	}
+	for _, workers := range []int{1, 4} {
+		report, csv := disabled(workers)
+		if !bytes.Equal(report, baseReport) {
+			t.Errorf("fig2 report differs with disabled recovery attached (workers %d)", workers)
+		}
+		if !bytes.Equal(csv, baseCSV) {
+			t.Errorf("fig2 CSV differs with disabled recovery attached (workers %d)", workers)
+		}
+	}
+}
+
+func TestDisabledRecoveryPolicyFig5Identical(t *testing.T) {
+	baseReport, baseCSV := fig5Output(t, false, 1)
+
+	opt := fdw.DefaultExperimentOptions()
+	opt.Scale = 0.002
+	opt.Seeds = []uint64{11}
+	opt.Workers = 4
+	opt.Recovery = &fdw.RecoveryConfig{}
+	var out bytes.Buffer
+	opt.Out = &out
+	cells, err := fdw.Fig5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := expt.WriteFig5CSV(&csvBuf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseReport) {
+		t.Error("fig5 report differs with disabled recovery attached")
+	}
+	if !bytes.Equal(csvBuf.Bytes(), baseCSV) {
+		t.Error("fig5 CSV differs with disabled recovery attached")
+	}
+}
+
+// TestEnabledRecoveryOnCleanRunStaysClean: the full default policy on a
+// fault-free workload must not degrade the result — every job still
+// completes and the DAG succeeds. (Backoff/breakers/deadlines only act
+// on failures; hedging may act, but first-finisher-wins can only move
+// completion earlier.)
+func TestEnabledRecoveryOnCleanRun(t *testing.T) {
+	opt := fdw.DefaultExperimentOptions()
+	opt.Scale = 0.002
+	opt.Seeds = []uint64{11}
+	cfg := fdw.DefaultRecoveryConfig()
+	opt.Recovery = &cfg
+	rows, err := fdw.Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no fig2 rows")
+	}
+	for _, r := range rows {
+		if r.RuntimeH <= 0 || r.ThroughputJPM <= 0 {
+			t.Fatalf("degenerate row with recovery enabled: %+v", r)
+		}
+	}
+}
