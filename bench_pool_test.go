@@ -1,0 +1,158 @@
+package fdw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fdw/internal/htcondor"
+	"fdw/internal/ospool"
+	"fdw/internal/sim"
+)
+
+// Pool-scale benchmarks (BENCH_pool.json): simulated jobs/sec through
+// the OSPool matchmaking + event hot path at OSPool magnitude, far past
+// the paper's 16k-waveform figure scale. Each op is one full workload:
+// submit N jobs across four owners (a mix of unconstrained and
+// site-pinned requirements), run the pool to drain, and report
+// simulated jobs per wall-clock second. "cold" starts from an empty
+// pool and pays the glidein ramp; "steady" pre-warms the pool with a
+// priming batch outside the timed region, so the measured segment is
+// the matchmaking/claim/complete cycle at full occupancy.
+//
+// scripts/benchdiff.sh tracks these against the BENCH_pool.json
+// baseline alongside the kernel suite.
+
+// benchPoolConfig scales the default site mix by mult and widens the
+// per-cycle match budget with it, so matchmaking, not an artificially
+// small negotiator cap, is what the benchmark exercises.
+func benchPoolConfig(mult int) ospool.Config {
+	cfg := ospool.DefaultConfig()
+	sites := make([]ospool.SiteConfig, len(cfg.Sites))
+	copy(sites, cfg.Sites)
+	for i := range sites {
+		sites[i].MaxSlots *= mult
+	}
+	cfg.Sites = sites
+	cfg.MatchesPerCycle = cfg.TotalSlots() / 2
+	if cfg.MatchesPerCycle < 120 {
+		cfg.MatchesPerCycle = 120
+	}
+	cfg.GlideinRampMean = 120
+	cfg.GlideinIdleTimeout = 3600
+	return cfg
+}
+
+// benchPoolJobs builds the benchmark workload: n jobs split across four
+// owners; one owner in eight jobs is pinned to a single site, the rest
+// match anywhere (the FDW phase mix in miniature).
+func benchPoolJobs(n int, site string) [][]*htcondor.Job {
+	owners := []string{"dag1", "dag2", "dag3", "dag4"}
+	batches := make([][]*htcondor.Job, len(owners))
+	for oi, owner := range owners {
+		share := n / len(owners)
+		if oi < n%len(owners) {
+			share++
+		}
+		jobs := make([]*htcondor.Job, share)
+		for i := range jobs {
+			j := &htcondor.Job{
+				Owner:           owner,
+				RequestCpus:     4,
+				RequestMemoryMB: 8192,
+				BaseExecSeconds: 300,
+			}
+			if i%8 == 7 {
+				j.Requirements = fmt.Sprintf("(TARGET.GLIDEIN_Site == %q)", site)
+			}
+			jobs[i] = j
+		}
+		batches[oi] = jobs
+	}
+	return batches
+}
+
+// drainPending reports whether any schedd still has unfinished jobs.
+func drainPending(schedds []*htcondor.Schedd) bool {
+	for _, s := range schedds {
+		if !s.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+// runPoolBench drives one workload of n jobs through a fresh pool and
+// returns the simulated-seconds makespan. warm pre-runs a priming batch
+// (sized to the pool) with the timer stopped so the measured batch hits
+// a fully provisioned pool.
+func runPoolBench(b *testing.B, n, mult int, warm bool) {
+	cfg := benchPoolConfig(mult)
+	site := cfg.Sites[0].Name
+	var drained float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k := sim.NewKernel(42)
+		p, err := ospool.New(k, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedds := make([]*htcondor.Schedd, 4)
+		for si := range schedds {
+			schedds[si] = htcondor.NewSchedd(fmt.Sprintf("s%d", si), k, nil)
+			p.AddSchedd(schedds[si])
+		}
+		p.Start()
+		if warm {
+			// Priming: one job per slot, drained before the clock starts.
+			prime := benchPoolJobs(cfg.TotalSlots(), site)
+			for si, jobs := range prime {
+				if _, err := schedds[si].Submit(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for drainPending(schedds) {
+				if !k.Step() {
+					b.Fatal("kernel ran dry during priming")
+				}
+			}
+		}
+		batches := benchPoolJobs(n, site)
+		b.StartTimer()
+		for si, jobs := range batches {
+			if _, err := schedds[si].Submit(jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.RunUntilDone(sim.Forever); err != nil {
+			b.Fatal(err)
+		}
+		drained = float64(k.Now())
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "simjobs/s")
+	b.ReportMetric(drained, "simsecs/op")
+}
+
+// BenchmarkPool is the pool-scale hot-path suite. Size/glidein pairs:
+// 10k jobs / ~4.6k slots, 100k jobs / ~46k slots, 1M jobs / ~115k
+// slots (the OSPool-magnitude configuration from ROADMAP.md).
+func BenchmarkPool(b *testing.B) {
+	cases := []struct {
+		jobs, mult int
+		long       bool
+	}{
+		{10_000, 10, false},
+		{100_000, 100, false},
+		{1_000_000, 250, true},
+	}
+	for _, mode := range []string{"cold", "steady"} {
+		for _, c := range cases {
+			name := fmt.Sprintf("%s/%d", mode, c.jobs)
+			b.Run(name, func(b *testing.B) {
+				if c.long && testing.Short() {
+					b.Skip("1M-job configuration skipped in -short mode")
+				}
+				runPoolBench(b, c.jobs, c.mult, mode == "steady")
+			})
+		}
+	}
+}

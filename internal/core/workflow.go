@@ -194,6 +194,11 @@ func RunBatch(env *Env, workflows []*Workflow, horizon sim.Time) error {
 		}
 	}
 	env.Pool.Stop()
+	for _, w := range workflows {
+		if err := w.Schedd.Log().Flush(); err != nil {
+			return fmt.Errorf("core: flushing %s user log: %w", w.Cfg.Name, err)
+		}
+	}
 	if !allDone() {
 		return fmt.Errorf("core: batch not finished by horizon %v", horizon)
 	}

@@ -83,6 +83,7 @@ type Executor struct {
 	// counts, retries, rescue writes). Purely passive: scheduling
 	// decisions never consult it.
 	Obs *obs.Registry
+	met execMetrics // handles resolved from Obs, rebuilt when it changes
 
 	StartTime sim.Time
 	EndTime   sim.Time
@@ -131,17 +132,65 @@ func NewExecutor(name string, d *DAG, k *sim.Kernel, schedd *htcondor.Schedd, fa
 // Schedd returns the executor's schedd.
 func (e *Executor) Schedd() *htcondor.Schedd { return e.schedd }
 
+// execMetrics caches the executor's metric handles so the node-lifecycle
+// hot path skips the registry's name+label map lookups. Obs is a public
+// field assigned after construction, so handles resolve lazily and are
+// rebuilt whenever the registry pointer changes. The per-node retry
+// counters are keyed by node name and filled on first use.
+type execMetrics struct {
+	reg *obs.Registry
+
+	running, done, failed, pending          *obs.Gauge
+	submissions, retries, failures, rescues *obs.Counter
+	retryBackoff                            *obs.Histogram
+	nodeRetries                             map[string]*obs.Counter
+}
+
+// metrics returns the cached handle set, or nil when Obs is unset.
+func (e *Executor) metrics() *execMetrics {
+	if e.Obs == nil {
+		return nil
+	}
+	if e.met.reg != e.Obs {
+		r := e.Obs
+		e.met = execMetrics{
+			reg:          r,
+			running:      r.Gauge("fdw_dagman_nodes_running", "dag", e.Name),
+			done:         r.Gauge("fdw_dagman_nodes_done", "dag", e.Name),
+			failed:       r.Gauge("fdw_dagman_nodes_failed", "dag", e.Name),
+			pending:      r.Gauge("fdw_dagman_nodes_pending", "dag", e.Name),
+			submissions:  r.Counter("fdw_dagman_node_submissions_total", "dag", e.Name),
+			retries:      r.Counter("fdw_dagman_retries_total", "dag", e.Name),
+			failures:     r.Counter("fdw_dagman_node_failures_total", "dag", e.Name),
+			rescues:      r.Counter("fdw_dagman_rescue_writes_total", "dag", e.Name),
+			retryBackoff: r.Histogram("fdw_dagman_retry_backoff_seconds", "dag", e.Name),
+			nodeRetries:  map[string]*obs.Counter{},
+		}
+	}
+	return &e.met
+}
+
+// nodeRetry returns the per-node retry counter, resolving it once.
+func (m *execMetrics) nodeRetry(dag, node string) *obs.Counter {
+	c, ok := m.nodeRetries[node]
+	if !ok {
+		c = m.reg.Counter("fdw_dagman_node_retries_total", "dag", dag, "node", node)
+		m.nodeRetries[node] = c
+	}
+	return c
+}
+
 // nodeGauges refreshes the node-progress gauges.
 func (e *Executor) nodeGauges() {
-	if e.Obs == nil {
+	m := e.metrics()
+	if m == nil {
 		return
 	}
 	total := len(e.dag.Order)
-	e.Obs.Gauge("fdw_dagman_nodes_running", "dag", e.Name).Set(float64(e.inflight))
-	e.Obs.Gauge("fdw_dagman_nodes_done", "dag", e.Name).Set(float64(e.finished))
-	e.Obs.Gauge("fdw_dagman_nodes_failed", "dag", e.Name).Set(float64(e.failed))
-	e.Obs.Gauge("fdw_dagman_nodes_pending", "dag", e.Name).
-		Set(float64(total - e.finished - e.failed - e.inflight))
+	m.running.Set(float64(e.inflight))
+	m.done.Set(float64(e.finished))
+	m.failed.Set(float64(e.failed))
+	m.pending.Set(float64(total - e.finished - e.failed - e.inflight))
 }
 
 // Start submits every ready root node. Nodes pre-marked DONE are
@@ -273,8 +322,8 @@ func (e *Executor) submitNode(nr *nodeRun) {
 	if cat := nr.node.Category; cat != "" {
 		e.active[cat]++
 	}
-	if e.Obs != nil {
-		e.Obs.Counter("fdw_dagman_node_submissions_total", "dag", e.Name).Inc()
+	if m := e.metrics(); m != nil {
+		m.submissions.Inc()
 		e.nodeGauges()
 	}
 }
@@ -291,10 +340,9 @@ func (e *Executor) failNodeAttempted(nr *nodeRun) {
 		// honors the category MAXJOBS throttle (and declaration-order
 		// fairness) like any other dispatch.
 		nr.retries++
-		if e.Obs != nil {
-			e.Obs.Counter("fdw_dagman_retries_total", "dag", e.Name).Inc()
-			e.Obs.Counter("fdw_dagman_node_retries_total",
-				"dag", e.Name, "node", nr.node.Name).Inc()
+		if m := e.metrics(); m != nil {
+			m.retries.Inc()
+			m.nodeRetry(e.Name, nr.node.Name).Inc()
 		}
 		nr.state = NodeReady
 		var delay sim.Time
@@ -307,9 +355,8 @@ func (e *Executor) failNodeAttempted(nr *nodeRun) {
 			// held node still counts as dispatchable, so checkComplete
 			// keeps the DAG alive until the timer fires.
 			nr.held = true
-			if e.Obs != nil {
-				e.Obs.Histogram("fdw_dagman_retry_backoff_seconds", "dag", e.Name).
-					Observe(float64(delay))
+			if m := e.metrics(); m != nil {
+				m.retryBackoff.Observe(float64(delay))
 			}
 			e.kernel.After(delay, func() {
 				nr.held = false
@@ -322,8 +369,8 @@ func (e *Executor) failNodeAttempted(nr *nodeRun) {
 	}
 	nr.state = NodeFailed
 	e.failed++
-	if e.Obs != nil {
-		e.Obs.Counter("fdw_dagman_node_failures_total", "dag", e.Name).Inc()
+	if m := e.metrics(); m != nil {
+		m.failures.Inc()
 		e.nodeGauges()
 	}
 	// A permanent failure releases its category slot: siblings throttled
@@ -422,8 +469,8 @@ func (e *Executor) anyDispatchable() bool {
 // WriteRescue emits a rescue DAG: the original DAG with completed nodes
 // marked DONE, so a re-run resumes where this one stopped.
 func (e *Executor) WriteRescue(w io.Writer) error {
-	if e.Obs != nil {
-		e.Obs.Counter("fdw_dagman_rescue_writes_total", "dag", e.Name).Inc()
+	if m := e.metrics(); m != nil {
+		m.rescues.Inc()
 	}
 	rescue := NewDAG()
 	rescue.Comments = append(rescue.Comments,

@@ -321,6 +321,9 @@ func TestUserLogFormatParseRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	got, err := ParseUserLog(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -395,6 +398,9 @@ func TestScheddWritesParsableLog(t *testing.T) {
 		}
 	})
 	k.Run()
+	if err := s.Log().Flush(); err != nil {
+		t.Fatal(err)
+	}
 	events, err := ParseUserLog(&buf)
 	if err != nil {
 		t.Fatal(err)

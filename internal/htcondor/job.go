@@ -84,6 +84,16 @@ type Job struct {
 	ExitCode   int
 	Evictions  int
 	Failures   int
+
+	// matchAd memoizes MatchAd. Requirements, Request*, Owner, and
+	// Attrs are fixed once a job is handed to Submit (the schedd only
+	// mutates the state block above), so the ad is built at most once
+	// per job instead of once per matchmaking probe.
+	matchAd classad.Ad
+
+	// fifoIdx is the job's position in each of the schedd's idle-queue
+	// structures (jobFIFO); maintained by the owning schedd only.
+	fifoIdx [numFIFOSlots]int
 }
 
 // ID renders the HTCondor "cluster.proc" identifier.
@@ -105,8 +115,13 @@ func (j *Job) ExecSeconds() float64 {
 	return float64(j.EndTime - j.StartTime)
 }
 
-// MatchAd builds the ad used as MY during matchmaking.
+// MatchAd builds the ad used as MY during matchmaking. The ad is
+// memoized (matchmaking attributes are immutable after submission);
+// callers must not mutate it.
 func (j *Job) MatchAd() classad.Ad {
+	if j.matchAd != nil {
+		return j.matchAd
+	}
 	ad := classad.Ad{
 		"RequestCpus":   classad.Number(float64(j.RequestCpus)),
 		"RequestMemory": classad.Number(float64(j.RequestMemoryMB)),
@@ -116,6 +131,7 @@ func (j *Job) MatchAd() classad.Ad {
 	for k, v := range j.Attrs {
 		ad[k] = v
 	}
+	j.matchAd = ad
 	return ad
 }
 
@@ -139,5 +155,5 @@ func (j *Job) Matches(machine classad.Ad) (bool, error) {
 	if j.Requirements == "" {
 		return true, nil
 	}
-	return classad.EvalBool(j.Requirements, j.MatchAd(), machine)
+	return classad.EvalBoolCached(j.Requirements, j.MatchAd(), machine)
 }

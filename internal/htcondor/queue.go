@@ -22,7 +22,7 @@ func (s *Schedd) Snapshot() QueueSnapshot {
 	snap := QueueSnapshot{
 		Schedd:    s.Name,
 		Staged:    len(s.staged),
-		Idle:      len(s.idle),
+		Idle:      s.idleQ.live,
 		Completed: s.completed,
 		Removed:   s.removed,
 		Total:     len(s.all),

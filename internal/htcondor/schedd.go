@@ -2,6 +2,7 @@ package htcondor
 
 import (
 	"fmt"
+	"sort"
 
 	"fdw/internal/obs"
 	"fdw/internal/sim"
@@ -20,9 +21,14 @@ type Schedd struct {
 	log         *UserLog
 	nextCluster int
 	staged      []*Job // accepted but not yet submitted to the queue
-	idle        []*Job
-	all         []*Job
-	listeners   []Listener
+	// idleQ is the schedd-wide idle queue; ownerQ indexes the same jobs
+	// per owner for the negotiator's fair-share iteration. Both are
+	// tombstoned FIFOs so MarkRunning is O(1) at any queue depth.
+	idleQ  jobFIFO
+	ownerQ map[string]*jobFIFO
+	all    []*Job
+
+	listeners []Listener
 
 	// MaxIdleSubmit is DAGMan's submission throttle
 	// (DAGMAN_MAX_JOBS_IDLE): jobs beyond this many idle stay *staged* —
@@ -42,7 +48,22 @@ type Schedd struct {
 	removed   int
 
 	obs   *obs.Registry
+	met   scheddMetrics
 	spans map[*Job]*obs.Span
+}
+
+// scheddMetrics holds pre-resolved instrument handles so the event hot
+// path does no per-call name/label string assembly (obs lookups build a
+// label-pair key on every call; at 10⁶ jobs that is the dominant
+// allocation). Populated by SetObs; zero when observability is off.
+type scheddMetrics struct {
+	idleJobs   *obs.Gauge
+	stagedJobs *obs.Gauge
+	waitSecs   *obs.Histogram
+	execSecs   *obs.Histogram
+	rejected   *obs.Counter
+	offloaded  *obs.Counter
+	events     map[EventType]*obs.Counter
 }
 
 // NewSchedd returns a schedd writing events to log (log may be nil).
@@ -50,7 +71,14 @@ func NewSchedd(name string, k *sim.Kernel, log *UserLog) *Schedd {
 	if log == nil {
 		log = NewUserLog(nil)
 	}
-	return &Schedd{Name: name, kernel: k, log: log, nextCluster: 1}
+	return &Schedd{
+		Name:        name,
+		kernel:      k,
+		log:         log,
+		nextCluster: 1,
+		idleQ:       jobFIFO{slot: slotIdle},
+		ownerQ:      map[string]*jobFIFO{},
+	}
 }
 
 // Log exposes the schedd's user log.
@@ -58,10 +86,24 @@ func (s *Schedd) Log() *UserLog { return s.log }
 
 // SetObs attaches a metrics registry (nil is fine: all instrumentation
 // becomes no-ops). Observability only records transitions the schedd
-// already made — it never influences scheduling.
+// already made — it never influences scheduling. Instrument handles are
+// resolved once here rather than per event.
 func (s *Schedd) SetObs(r *obs.Registry) {
 	s.obs = r
-	if r != nil && s.spans == nil {
+	if r == nil {
+		s.met = scheddMetrics{}
+		return
+	}
+	s.met = scheddMetrics{
+		idleJobs:   r.Gauge("fdw_schedd_idle_jobs", "schedd", s.Name),
+		stagedJobs: r.Gauge("fdw_schedd_staged_jobs", "schedd", s.Name),
+		waitSecs:   r.Histogram("fdw_schedd_wait_seconds", "schedd", s.Name),
+		execSecs:   r.Histogram("fdw_schedd_exec_seconds", "schedd", s.Name),
+		rejected:   r.Counter("fdw_schedd_submit_rejected_total", "schedd", s.Name),
+		offloaded:  r.Counter("fdw_schedd_offloaded_total", "schedd", s.Name),
+		events:     map[EventType]*obs.Counter{},
+	}
+	if s.spans == nil {
 		s.spans = map[*Job]*obs.Span{}
 	}
 }
@@ -76,8 +118,31 @@ func (s *Schedd) queueGauges() {
 	if s.obs == nil {
 		return
 	}
-	s.obs.Gauge("fdw_schedd_idle_jobs", "schedd", s.Name).Set(float64(len(s.idle)))
-	s.obs.Gauge("fdw_schedd_staged_jobs", "schedd", s.Name).Set(float64(len(s.staged)))
+	s.met.idleJobs.Set(float64(s.idleQ.live))
+	s.met.stagedJobs.Set(float64(len(s.staged)))
+}
+
+// insertIdle appends j to the idle queue (and its owner's queue).
+func (s *Schedd) insertIdle(j *Job) {
+	s.idleQ.push(j)
+	q := s.ownerQ[j.Owner]
+	if q == nil {
+		q = &jobFIFO{slot: slotOwner}
+		s.ownerQ[j.Owner] = q
+	}
+	q.push(j)
+}
+
+// removeIdle drops j from both idle structures. It reports whether j
+// was queued.
+func (s *Schedd) removeIdle(j *Job) bool {
+	if !s.idleQ.remove(j) {
+		return false
+	}
+	if q := s.ownerQ[j.Owner]; q != nil {
+		q.remove(j)
+	}
+	return true
 }
 
 // Subscribe registers a listener for job state transitions.
@@ -107,7 +172,7 @@ func (s *Schedd) Submit(jobs []*Job) (int, error) {
 	if s.SubmitGate != nil {
 		if err := s.SubmitGate(jobs); err != nil {
 			if s.obs != nil {
-				s.obs.Counter("fdw_schedd_submit_rejected_total", "schedd", s.Name).Inc()
+				s.met.rejected.Inc()
 			}
 			return 0, err
 		}
@@ -128,11 +193,11 @@ func (s *Schedd) Submit(jobs []*Job) (int, error) {
 // pump releases staged jobs into the idle queue while the throttle
 // allows, writing their 000 events with the release time.
 func (s *Schedd) pump() {
-	for len(s.staged) > 0 && (s.MaxIdleSubmit <= 0 || len(s.idle) < s.MaxIdleSubmit) {
+	for len(s.staged) > 0 && (s.MaxIdleSubmit <= 0 || s.idleQ.live < s.MaxIdleSubmit) {
 		j := s.staged[0]
 		s.staged = s.staged[1:]
 		j.SubmitTime = s.kernel.Now()
-		s.idle = append(s.idle, j)
+		s.insertIdle(j)
 		if s.obs != nil {
 			sp := s.obs.StartSpan("job", j.ID())
 			sp.Annotate("submit")
@@ -159,7 +224,7 @@ func (s *Schedd) PopStaged() *Job {
 	j.Status = Removed
 	s.removed++
 	if s.obs != nil {
-		s.obs.Counter("fdw_schedd_offloaded_total", "schedd", s.Name).Inc()
+		s.met.offloaded.Inc()
 		s.queueGauges()
 	}
 	return j
@@ -167,7 +232,12 @@ func (s *Schedd) PopStaged() *Job {
 
 func (s *Schedd) appendEvent(j *Job, t EventType, host string) {
 	if s.obs != nil {
-		s.obs.Counter("fdw_schedd_events_total", "schedd", s.Name, "type", t.String()).Inc()
+		c := s.met.events[t]
+		if c == nil {
+			c = s.obs.Counter("fdw_schedd_events_total", "schedd", s.Name, "type", t.String())
+			s.met.events[t] = c
+		}
+		c.Inc()
 	}
 	_ = s.log.Append(JobEvent{
 		Type:    t,
@@ -179,10 +249,37 @@ func (s *Schedd) appendEvent(j *Job, t EventType, host string) {
 }
 
 // IdleJobs returns the queued (submitted, idle) jobs in FIFO order.
-func (s *Schedd) IdleJobs() []*Job { return s.idle }
+// The slice is a fresh snapshot; hot paths should prefer QueueDepth,
+// IdleOwners, and OwnerIdleCursor, which do not copy.
+func (s *Schedd) IdleJobs() []*Job { return s.idleQ.snapshot() }
 
 // QueueDepth returns the number of idle jobs.
-func (s *Schedd) QueueDepth() int { return len(s.idle) }
+func (s *Schedd) QueueDepth() int { return s.idleQ.live }
+
+// IdleOwners returns the owners that currently have idle jobs here,
+// sorted by name.
+func (s *Schedd) IdleOwners() []string {
+	var out []string
+	for owner, q := range s.ownerQ {
+		if q.live > 0 {
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerIdleCursor opens a cursor over owner's idle jobs in FIFO order,
+// bounded to jobs queued at the time of the call. The cursor stays
+// valid across claims (removals) but not across new submissions or
+// evictions, so it must be consumed within one negotiation cycle.
+func (s *Schedd) OwnerIdleCursor(owner string) IdleCursor {
+	q := s.ownerQ[owner]
+	if q == nil {
+		return IdleCursor{}
+	}
+	return IdleCursor{f: q, end: len(q.jobs)}
+}
 
 // RunningCount returns the number of currently running jobs.
 func (s *Schedd) RunningCount() int {
@@ -207,16 +304,6 @@ func (s *Schedd) Done() bool {
 	return len(s.staged) == 0 && s.completed+s.removed == len(s.all)
 }
 
-func (s *Schedd) dropIdle(j *Job) bool {
-	for i, q := range s.idle {
-		if q == j {
-			s.idle = append(s.idle[:i], s.idle[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
 func (s *Schedd) dropStaged(j *Job) bool {
 	for i, q := range s.staged {
 		if q == j {
@@ -233,7 +320,7 @@ func (s *Schedd) MarkRunning(j *Job, host string) error {
 	if j.Status != Idle {
 		return fmt.Errorf("htcondor: MarkRunning on %v job %s", j.Status, j.ID())
 	}
-	if !s.dropIdle(j) {
+	if !s.removeIdle(j) {
 		return fmt.Errorf("htcondor: job %s not in idle queue", j.ID())
 	}
 	j.Status = Running
@@ -244,8 +331,7 @@ func (s *Schedd) MarkRunning(j *Job, host string) error {
 		if sp := s.spans[j]; sp != nil {
 			sp.Annotate("match")
 		}
-		s.obs.Histogram("fdw_schedd_wait_seconds", "schedd", s.Name).
-			Observe(float64(j.StartTime - j.SubmitTime))
+		s.met.waitSecs.Observe(float64(j.StartTime - j.SubmitTime))
 		s.queueGauges()
 	}
 	s.appendEvent(j, EventExecute, host)
@@ -263,8 +349,7 @@ func (s *Schedd) MarkCompleted(j *Job, exitCode int) error {
 	j.ExitCode = exitCode
 	s.completed++
 	if s.obs != nil {
-		s.obs.Histogram("fdw_schedd_exec_seconds", "schedd", s.Name).
-			Observe(float64(j.EndTime - j.StartTime))
+		s.met.execSecs.Observe(float64(j.EndTime - j.StartTime))
 		if sp := s.spans[j]; sp != nil {
 			sp.End("completed")
 			delete(s.spans, j)
@@ -285,7 +370,7 @@ func (s *Schedd) MarkEvicted(j *Job) error {
 	j.Status = Idle
 	j.Evictions++
 	j.Site = ""
-	s.idle = append(s.idle, j)
+	s.insertIdle(j)
 	if s.obs != nil {
 		if sp := s.spans[j]; sp != nil {
 			sp.Annotate("evicted")
@@ -305,7 +390,7 @@ func (s *Schedd) MarkEvicted(j *Job) error {
 func (s *Schedd) Remove(j *Job) error {
 	switch j.Status {
 	case Idle:
-		if !s.dropIdle(j) && !s.dropStaged(j) {
+		if !s.removeIdle(j) && !s.dropStaged(j) {
 			return fmt.Errorf("htcondor: job %s not in idle queue", j.ID())
 		}
 	case Running:
@@ -356,7 +441,7 @@ func (s *Schedd) AbortRunning(j *Job) error {
 func (s *Schedd) AdoptResult(j *Job, exitCode int) error {
 	switch j.Status {
 	case Idle:
-		if !s.dropIdle(j) && !s.dropStaged(j) {
+		if !s.removeIdle(j) && !s.dropStaged(j) {
 			return fmt.Errorf("htcondor: AdoptResult on unknown idle job %s", j.ID())
 		}
 	case Running:

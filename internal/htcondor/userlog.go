@@ -63,10 +63,21 @@ type JobEvent struct {
 // UserLog accumulates HTCondor-format event-log text. FDW's monitoring
 // parses this text (the paper: "Shell scripts parse HTCondor log files
 // to extract information (e.g., runtime, wait times, ...)").
+//
+// Text output is buffered: Append formats into an internal buffer that
+// is written out once it passes userLogFlushBytes, so a million-event
+// run issues kilobyte-scale writes instead of one syscall per event.
+// Call Flush (or run through Pool.RunUntilDone / core.RunBatch, which
+// flush on completion) before reading the underlying writer.
 type UserLog struct {
 	w      io.Writer
 	events []JobEvent
+	buf    []byte
 }
+
+// userLogFlushBytes is the buffered-text threshold that triggers a
+// write to the underlying writer.
+const userLogFlushBytes = 64 * 1024
 
 // NewUserLog writes formatted events to w (which may be nil to keep
 // events only in memory).
@@ -75,13 +86,27 @@ func NewUserLog(w io.Writer) *UserLog { return &UserLog{w: w} }
 // Events returns all recorded events in append order.
 func (l *UserLog) Events() []JobEvent { return l.events }
 
-// Append records an event and writes its textual form.
+// Append records an event and buffers its textual form, flushing to the
+// underlying writer when the buffer is full.
 func (l *UserLog) Append(ev JobEvent) error {
 	l.events = append(l.events, ev)
 	if l.w == nil {
 		return nil
 	}
-	_, err := io.WriteString(l.w, FormatEvent(ev))
+	l.buf = appendEventText(l.buf, ev)
+	if len(l.buf) >= userLogFlushBytes {
+		return l.Flush()
+	}
+	return nil
+}
+
+// Flush writes any buffered event text to the underlying writer.
+func (l *UserLog) Flush() error {
+	if l.w == nil || len(l.buf) == 0 {
+		return nil
+	}
+	_, err := l.w.Write(l.buf)
+	l.buf = l.buf[:0]
 	return err
 }
 
@@ -89,14 +114,37 @@ func (l *UserLog) Append(ev JobEvent) error {
 //
 //	005 (1234.000.000) 2023-11-12 03:14:15 Job terminated.
 //	...
-func FormatEvent(ev JobEvent) string {
-	ts := logEpoch.Add(ev.At.Duration()).Format("2006-01-02 15:04:05")
-	head := fmt.Sprintf("%03d (%04d.%03d.000) %s %s", int(ev.Type), ev.Cluster, ev.Proc, ts, ev.Type)
+func FormatEvent(ev JobEvent) string { return string(appendEventText(nil, ev)) }
+
+// appendEventText appends FormatEvent's output to b without the
+// fmt.Sprintf round trip — the userlog hot path.
+func appendEventText(b []byte, ev JobEvent) []byte {
+	b = appendZeroPad(b, int(ev.Type), 3)
+	b = append(b, " ("...)
+	b = appendZeroPad(b, ev.Cluster, 4)
+	b = append(b, '.')
+	b = appendZeroPad(b, ev.Proc, 3)
+	b = append(b, ".000) "...)
+	b = logEpoch.Add(ev.At.Duration()).AppendFormat(b, "2006-01-02 15:04:05")
+	b = append(b, ' ')
+	b = append(b, ev.Type.String()...)
 	switch ev.Type {
 	case EventSubmit, EventExecute:
-		head += fmt.Sprintf(": <%s>", ev.Host)
+		b = append(b, ": <"...)
+		b = append(b, ev.Host...)
+		b = append(b, '>')
 	}
-	return head + "\n...\n"
+	return append(b, "\n...\n"...)
+}
+
+// appendZeroPad appends v zero-padded to width digits (like %0*d).
+func appendZeroPad(b []byte, v, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], int64(v), 10)
+	for i := len(s); i < width; i++ {
+		b = append(b, '0')
+	}
+	return append(b, s...)
 }
 
 // ParseUserLog parses text produced by FormatEvent (a subset of real

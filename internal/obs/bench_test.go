@@ -1,0 +1,26 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounterHot quantifies why hot loops cache instrument
+// handles (DESIGN.md §12): "lookup" resolves the counter through the
+// registry's locked name+label map on every increment — what the pool,
+// schedd, executor, and stash hot paths used to do — while "cached"
+// resolves the handle once and pays only the atomic add.
+func BenchmarkObsCounterHot(b *testing.B) {
+	b.Run("lookup", func(b *testing.B) {
+		r := NewRegistry(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Counter("fdw_bench_events_total", "site", "uchicago", "type", "execute").Inc()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		r := NewRegistry(nil)
+		c := r.Counter("fdw_bench_events_total", "site", "uchicago", "type", "execute")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}

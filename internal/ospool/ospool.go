@@ -6,9 +6,21 @@
 // match rate, and Stash-cache input delivery — so that throughput
 // scaling, wait-time growth under concurrent DAGMans, and erratic
 // running-job footprints emerge rather than being scripted.
+//
+// The pool is engineered for OSPool magnitude (10⁵ glideins, 10⁶
+// jobs): matchmaking runs over per-site free-slot heaps plus a
+// requirements-signature match cache instead of scanning every
+// glidein per job (see DESIGN.md §12), and all hot-path state —
+// fair-share usage, busy counts, claim lookup — is maintained
+// incrementally rather than rebuilt per cycle. The indexed negotiator
+// provably reproduces the seed linear scan match-for-match;
+// negotiate_ref.go retains that linear scan as the executable
+// specification, and TestIndexedNegotiatorMatchesReference checks the
+// equivalence property.
 package ospool
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -116,17 +128,34 @@ func (c Config) TotalSlots() int {
 	return n
 }
 
+// glidein is one pilot slot. Ids are allocated in arrival order and
+// never reused, so "ascending id" is exactly the seed negotiator's
+// scan order — the invariant the per-site free heaps preserve.
 type glidein struct {
-	id      int
-	site    *SiteConfig
-	speed   float64
-	ad      classad.Ad
-	job     *htcondor.Job
-	schedd  *htcondor.Schedd
-	expire  sim.Time
-	idleAt  sim.Time
-	retired bool
-	done    *sim.Event // pending completion event for the running job
+	id       int
+	site     *SiteConfig
+	siteIdx  int // index into Pool.sites
+	speed    float64
+	host     string // "glidein-<id>.<site>", built once
+	ad       classad.Ad
+	job      *htcondor.Job
+	schedd   *htcondor.Schedd
+	expire   sim.Time
+	idleAt   sim.Time
+	retired  bool
+	heapIdx  int        // position in its site's free heap; -1 when busy
+	done     *sim.Event // pending completion event for the running job
+	expireEv *sim.Event // scheduled lifetime-expiry event
+}
+
+// siteState is the per-site shard of the matchmaking index: the shared
+// machine ad (glidein ads are identical within a site — speed is not
+// advertised) and the min-heap of free glideins keyed by id.
+type siteState struct {
+	cfg       *SiteConfig
+	ad        classad.Ad
+	free      freeHeap
+	liveCount int // glideins at this site, idle + busy
 }
 
 // ExecFault describes an injected outcome for one execution attempt,
@@ -219,15 +248,44 @@ type Pool struct {
 	// points only and must not perturb the pool's variate sequence.
 	recovery RecoveryHook
 
-	schedds  []*htcondor.Schedd
-	glideins []*glidein
-	pending  int // glideins requested but not yet arrived
-	nextID   int
-	stopped  bool
+	schedds []*htcondor.Schedd
+
+	// Live-slot state, maintained incrementally at every transition
+	// instead of recomputed per cycle.
+	sites     []siteState
+	live      map[int]*glidein           // every live glidein by id
+	byJob     map[*htcondor.Job]*glidein // running job -> its slot
+	busy      int                        // glideins with a running job
+	freeCount int                        // idle glideins across all sites
+
+	// ownerRunning tracks running jobs per owner — the fair-share usage
+	// the negotiator seeds each cycle with (the seed code recounted it
+	// by scanning every glidein per cycle).
+	ownerRunning map[string]int
+
+	// Matchmaking cache: job -> per-site match mask, deduplicated via a
+	// requirements signature so the ClassAd machinery runs once per
+	// distinct (resources, requirements, referenced-attrs) combination
+	// rather than once per job × site. See matchindex.go.
+	maskByJob map[*htcondor.Job][]bool
+	maskBySig map[string][]bool
+	reqAttrs  map[string][]string
+	cands     []siteCand // scratch for findSlot's site walk
+
+	pending int // glideins requested but not yet arrived
+	nextID  int
+	stopped bool
 
 	phase0 float64 // availability phase offset
 
 	stopFns []func()
+
+	// useReference switches negotiate to the retained seed linear-scan
+	// implementation (negotiate_ref.go); traceMatch, if set, observes
+	// every successful claim. Both exist for the equivalence property
+	// test.
+	useReference bool
+	traceMatch   func(j *htcondor.Job, g *glidein)
 
 	// counters
 	started   int
@@ -241,6 +299,29 @@ type Pool struct {
 	wastedSeconds float64
 
 	obs *obs.Registry
+	met poolMetrics
+}
+
+// poolMetrics holds pre-resolved instrument handles (per-site slices
+// are parallel to Pool.sites) so hot paths skip the registry's
+// name+label key assembly. Populated by SetObs.
+type poolMetrics struct {
+	slotsLive    *obs.Gauge
+	slotsBusy    *obs.Gauge
+	pendingSlots *obs.Gauge
+	capacity     *obs.Gauge
+	cycles       *obs.Counter
+	matches      *obs.Counter
+	retireExpire *obs.Counter
+	retireIdle   *obs.Counter
+	jobRetries   *obs.Counter
+	transferIn   *obs.Histogram
+	requested    []*obs.Counter
+	arrived      []*obs.Counter
+	lost         []*obs.Counter
+	preempted    []*obs.Counter
+	deadline     []*obs.Counter
+	cancelled    []*obs.Counter
 }
 
 // New creates a pool bound to a kernel. cache may be nil (transfers
@@ -251,11 +332,32 @@ func New(k *sim.Kernel, cfg Config, cache *stash.Cache) (*Pool, error) {
 	}
 	rng := k.RNG().Split(0x056001)
 	p := &Pool{
-		kernel: k,
-		rng:    rng,
-		cfg:    cfg,
-		cache:  cache,
-		phase0: rng.Uniform(0, 2*math.Pi),
+		kernel:       k,
+		rng:          rng,
+		cfg:          cfg,
+		cache:        cache,
+		phase0:       rng.Uniform(0, 2*math.Pi),
+		live:         map[int]*glidein{},
+		byJob:        map[*htcondor.Job]*glidein{},
+		ownerRunning: map[string]int{},
+		maskByJob:    map[*htcondor.Job][]bool{},
+		maskBySig:    map[string][]bool{},
+		reqAttrs:     map[string][]string{},
+	}
+	p.sites = make([]siteState, len(p.cfg.Sites))
+	for i := range p.cfg.Sites {
+		s := &p.cfg.Sites[i]
+		p.sites[i] = siteState{
+			cfg: s,
+			// One machine ad per site: glideins advertise only
+			// site-level attributes, so every pilot at a site shares it.
+			ad: classad.Ad{
+				"Cpus":           classad.Number(float64(s.CpusPer)),
+				"Memory":         classad.Number(float64(s.MemoryMB)),
+				"HasSingularity": classad.Bool(true),
+				"GLIDEIN_Site":   classad.String(s.Name),
+			},
+		}
 	}
 	return p, nil
 }
@@ -265,8 +367,37 @@ func (p *Pool) AddSchedd(s *htcondor.Schedd) { p.schedds = append(p.schedds, s) 
 
 // SetObs attaches a metrics registry (nil disables instrumentation).
 // The registry only records pool dynamics — provisioning, matching, and
-// preemption decisions never read from it.
-func (p *Pool) SetObs(r *obs.Registry) { p.obs = r }
+// preemption decisions never read from it. Instrument handles are
+// resolved here, once, rather than per event.
+func (p *Pool) SetObs(r *obs.Registry) {
+	p.obs = r
+	if r == nil {
+		p.met = poolMetrics{}
+		return
+	}
+	m := poolMetrics{
+		slotsLive:    r.Gauge("fdw_ospool_slots_live"),
+		slotsBusy:    r.Gauge("fdw_ospool_slots_busy"),
+		pendingSlots: r.Gauge("fdw_ospool_glideins_pending"),
+		capacity:     r.Gauge("fdw_ospool_capacity_slots"),
+		cycles:       r.Counter("fdw_ospool_negotiation_cycles_total"),
+		matches:      r.Counter("fdw_ospool_matches_total"),
+		retireExpire: r.Counter("fdw_ospool_glideins_retired_total", "reason", "expired"),
+		retireIdle:   r.Counter("fdw_ospool_glideins_retired_total", "reason", "idle"),
+		jobRetries:   r.Counter("fdw_ospool_job_retries_total"),
+		transferIn:   r.Histogram("fdw_ospool_transfer_in_seconds"),
+	}
+	for i := range p.sites {
+		name := p.sites[i].cfg.Name
+		m.requested = append(m.requested, r.Counter("fdw_ospool_glideins_requested_total", "site", name))
+		m.arrived = append(m.arrived, r.Counter("fdw_ospool_glideins_arrived_total", "site", name))
+		m.lost = append(m.lost, r.Counter("fdw_ospool_glideins_lost_total", "site", name))
+		m.preempted = append(m.preempted, r.Counter("fdw_ospool_preemptions_total", "site", name))
+		m.deadline = append(m.deadline, r.Counter("fdw_ospool_deadline_evictions_total", "site", name))
+		m.cancelled = append(m.cancelled, r.Counter("fdw_ospool_claims_cancelled_total", "site", name))
+	}
+	p.met = m
+}
 
 // Obs returns the attached registry (nil when observability is off).
 func (p *Pool) Obs() *obs.Registry { return p.obs }
@@ -286,17 +417,51 @@ func (p *Pool) SetExecFault(fn func(site string, j *htcondor.Job, now sim.Time) 
 // nil clears it, restoring the exact baseline behaviour.
 func (p *Pool) SetRecovery(h RecoveryHook) { p.recovery = h }
 
+// addFree returns g to its site's free heap.
+func (p *Pool) addFree(g *glidein) {
+	heap.Push(&p.sites[g.siteIdx].free, g)
+	p.freeCount++
+}
+
+// removeFree takes g out of its site's free heap.
+func (p *Pool) removeFree(g *glidein) {
+	heap.Remove(&p.sites[g.siteIdx].free, g.heapIdx)
+	g.heapIdx = -1
+	p.freeCount--
+}
+
+// release unbinds g's running job, restoring g to its site's free heap
+// unless the glidein is already retired.
+func (p *Pool) release(g *glidein) {
+	job := g.job
+	delete(p.byJob, job)
+	g.job, g.schedd = nil, nil
+	p.busy--
+	if n := p.ownerRunning[job.Owner] - 1; n > 0 {
+		p.ownerRunning[job.Owner] = n
+	} else {
+		delete(p.ownerRunning, job.Owner)
+	}
+	g.idleAt = p.kernel.Now()
+	if !g.retired {
+		p.addFree(g)
+	}
+}
+
 // DrainSite retires every live glidein at the named site, evicting
 // running jobs back to their schedds (a site outage beginning). It
 // returns how many glideins were drained. Pending requests for the
 // site still arrive unless the SiteDown hook reports it down.
 func (p *Pool) DrainSite(name string) int {
 	var doomed []*glidein
-	for _, g := range p.glideins {
+	for _, g := range p.live {
 		if g.site.Name == name {
 			doomed = append(doomed, g)
 		}
 	}
+	// Ascending id — the seed's scan order — so eviction events land in
+	// the user logs in the same order.
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].id < doomed[j].id })
 	for _, g := range doomed {
 		p.expireGlidein(g)
 	}
@@ -312,9 +477,9 @@ func (p *Pool) slotGauges() {
 	if p.obs == nil {
 		return
 	}
-	p.obs.Gauge("fdw_ospool_slots_live").Set(float64(len(p.glideins)))
-	p.obs.Gauge("fdw_ospool_slots_busy").Set(float64(p.RunningCount()))
-	p.obs.Gauge("fdw_ospool_glideins_pending").Set(float64(p.pending))
+	p.met.slotsLive.Set(float64(len(p.live)))
+	p.met.slotsBusy.Set(float64(p.busy))
+	p.met.pendingSlots.Set(float64(p.pending))
 }
 
 // Start arms the provisioning and negotiation tickers.
@@ -335,18 +500,10 @@ func (p *Pool) Stop() {
 }
 
 // RunningCount returns the number of busy glideins.
-func (p *Pool) RunningCount() int {
-	n := 0
-	for _, g := range p.glideins {
-		if g.job != nil {
-			n++
-		}
-	}
-	return n
-}
+func (p *Pool) RunningCount() int { return p.busy }
 
 // SlotCount returns the number of live glideins (busy + idle).
-func (p *Pool) SlotCount() int { return len(p.glideins) }
+func (p *Pool) SlotCount() int { return len(p.live) }
 
 // Stats returns cumulative pool counters.
 func (p *Pool) Stats() (started, completed, evictions int) {
@@ -375,7 +532,7 @@ func (p *Pool) availability(t sim.Time) float64 {
 func (p *Pool) demand() int {
 	n := 0
 	for _, s := range p.schedds {
-		n += len(s.IdleJobs())
+		n += s.QueueDepth()
 	}
 	return n
 }
@@ -388,36 +545,46 @@ func (p *Pool) provision() {
 	}
 	now := p.kernel.Now()
 
-	// Retire expired or long-idle pilots.
-	live := p.glideins[:0]
-	for _, g := range p.glideins {
-		switch {
-		case g.job == nil && now >= g.expire:
-			g.retired = true
-			if p.obs != nil {
-				p.obs.Counter("fdw_ospool_glideins_retired_total", "reason", "expired").Inc()
+	// Retire expired or long-idle pilots. Only free glideins are
+	// eligible, so each site's free heap is exactly the candidate set;
+	// busy pilots are handled by their scheduled expiry events.
+	var doomed []*glidein
+	for i := range p.sites {
+		doomed = doomed[:0]
+		for _, g := range p.sites[i].free {
+			if now >= g.expire || (p.cfg.GlideinIdleTimeout > 0 && now-g.idleAt > p.cfg.GlideinIdleTimeout) {
+				doomed = append(doomed, g)
 			}
-		case g.job == nil && p.cfg.GlideinIdleTimeout > 0 && now-g.idleAt > p.cfg.GlideinIdleTimeout:
+		}
+		for _, g := range doomed {
 			g.retired = true
-			if p.obs != nil {
-				p.obs.Counter("fdw_ospool_glideins_retired_total", "reason", "idle").Inc()
+			if g.expireEv != nil {
+				g.expireEv.Cancel()
+				g.expireEv = nil
 			}
-		default:
-			live = append(live, g)
+			p.removeFree(g)
+			delete(p.live, g.id)
+			p.sites[i].liveCount--
+			if p.obs != nil {
+				if now >= g.expire {
+					p.met.retireExpire.Inc()
+				} else {
+					p.met.retireIdle.Inc()
+				}
+			}
 		}
 	}
-	p.glideins = live
 	p.slotGauges()
 
 	capacity := int(float64(p.cfg.TotalSlots()) * p.availability(now))
 	if p.obs != nil {
-		p.obs.Gauge("fdw_ospool_capacity_slots").Set(float64(capacity))
+		p.met.capacity.Set(float64(capacity))
 	}
 	desired := p.demand()
 	if desired > capacity {
 		desired = capacity
 	}
-	need := desired - len(p.glideins) - p.pending
+	need := desired - len(p.live) - p.pending
 	if need <= 0 {
 		return
 	}
@@ -430,31 +597,28 @@ func (p *Pool) provision() {
 		need = maxBurst
 	}
 	for i := 0; i < need; i++ {
-		site := p.pickSite()
-		if site == nil {
+		siteIdx := p.pickSite()
+		if siteIdx < 0 {
 			break
 		}
 		p.pending++
 		if p.obs != nil {
-			p.obs.Counter("fdw_ospool_glideins_requested_total", "site", site.Name).Inc()
+			p.met.requested[siteIdx].Inc()
 		}
 		delay := sim.Time(p.rng.Exp(float64(p.cfg.GlideinRampMean)))
 		if delay < 30 {
 			delay = 30
 		}
-		p.kernel.After(delay, func() { p.glideinArrives(site) })
+		p.kernel.After(delay, func() { p.glideinArrives(siteIdx) })
 	}
 }
 
-// pickSite chooses a site weighted by its remaining slot headroom,
-// skipping sites an outage has taken down.
-func (p *Pool) pickSite() *SiteConfig {
-	used := map[string]int{}
-	for _, g := range p.glideins {
-		used[g.site.Name]++
-	}
+// pickSite chooses a site (by index) weighted by its remaining slot
+// headroom, skipping sites an outage has taken down. Returns -1 when
+// no site has headroom.
+func (p *Pool) pickSite() int {
 	type cand struct {
-		site *SiteConfig
+		idx  int
 		free int
 	}
 	var cands []cand
@@ -465,62 +629,63 @@ func (p *Pool) pickSite() *SiteConfig {
 		if p.siteDown != nil && p.siteDown(s.Name, now) {
 			continue
 		}
-		free := s.MaxSlots - used[s.Name]
+		free := s.MaxSlots - p.sites[i].liveCount
 		if free > 0 {
-			cands = append(cands, cand{s, free})
+			cands = append(cands, cand{i, free})
 			total += free
 		}
 	}
 	if total == 0 {
-		return nil
+		return -1
 	}
 	pick := p.rng.Intn(total)
 	for _, c := range cands {
 		if pick < c.free {
-			return c.site
+			return c.idx
 		}
 		pick -= c.free
 	}
-	return cands[len(cands)-1].site
+	return cands[len(cands)-1].idx
 }
 
-func (p *Pool) glideinArrives(site *SiteConfig) {
+func (p *Pool) glideinArrives(siteIdx int) {
 	p.pending--
 	if p.stopped {
 		return
 	}
+	st := &p.sites[siteIdx]
+	site := st.cfg
 	now := p.kernel.Now()
 	if p.siteDown != nil && p.siteDown(site.Name, now) {
 		// The pilot reached a site that has since gone down: it never
 		// reports for duty.
 		if p.obs != nil {
-			p.obs.Counter("fdw_ospool_glideins_lost_total", "site", site.Name).Inc()
+			p.met.lost[siteIdx].Inc()
 		}
 		return
 	}
 	speed := p.rng.TruncNormal(site.Speed, site.SpeedSD, site.Speed*0.6, site.Speed*1.6)
 	g := &glidein{
-		id:    p.nextID,
-		site:  site,
-		speed: speed,
-		ad: classad.Ad{
-			"Cpus":           classad.Number(float64(site.CpusPer)),
-			"Memory":         classad.Number(float64(site.MemoryMB)),
-			"HasSingularity": classad.Bool(true),
-			"GLIDEIN_Site":   classad.String(site.Name),
-		},
-		expire: now + sim.Time(p.rng.Exp(float64(p.cfg.GlideinLifetimeMean))),
-		idleAt: now,
+		id:      p.nextID,
+		site:    site,
+		siteIdx: siteIdx,
+		speed:   speed,
+		host:    fmt.Sprintf("glidein-%d.%s", p.nextID, site.Name),
+		ad:      st.ad,
+		expire:  now + sim.Time(p.rng.Exp(float64(p.cfg.GlideinLifetimeMean))),
+		idleAt:  now,
 	}
 	p.nextID++
-	p.glideins = append(p.glideins, g)
+	p.live[g.id] = g
+	st.liveCount++
+	p.addFree(g)
 	if p.obs != nil {
-		p.obs.Counter("fdw_ospool_glideins_arrived_total", "site", site.Name).Inc()
+		p.met.arrived[siteIdx].Inc()
 		p.slotGauges()
 	}
 	// Pilot lifetime: if still running a job at expiry, the job is
 	// preempted (evicted) and returns to the queue.
-	p.kernel.At(g.expire, func() { p.expireGlidein(g) })
+	g.expireEv = p.kernel.At(g.expire, func() { p.expireGlidein(g) })
 }
 
 func (p *Pool) expireGlidein(g *glidein) {
@@ -528,148 +693,116 @@ func (p *Pool) expireGlidein(g *glidein) {
 		return
 	}
 	g.retired = true
+	if g.expireEv != nil {
+		g.expireEv.Cancel()
+		g.expireEv = nil
+	}
 	if g.job != nil {
 		if g.done != nil {
 			g.done.Cancel()
 		}
 		job, schedd := g.job, g.schedd
-		g.job, g.schedd, g.done = nil, nil, nil
+		g.done = nil
 		p.evictions++
 		elapsed := float64(p.kernel.Now() - job.StartTime)
 		p.wastedSeconds += elapsed
 		if p.obs != nil {
-			p.obs.Counter("fdw_ospool_preemptions_total", "site", g.site.Name).Inc()
+			p.met.preempted[g.siteIdx].Inc()
 		}
 		if p.recovery != nil {
 			p.recovery.AttemptEnded(g.site.Name, job, AttemptPreempted, elapsed, p.kernel.Now())
 		}
+		p.release(g)
 		_ = schedd.MarkEvicted(job)
+	} else if g.heapIdx >= 0 {
+		p.removeFree(g)
 	}
-	for i, o := range p.glideins {
-		if o == g {
-			p.glideins = append(p.glideins[:i], p.glideins[i+1:]...)
-			break
-		}
-	}
+	delete(p.live, g.id)
+	p.sites[g.siteIdx].liveCount--
 	p.slotGauges()
 }
 
-// ownerState aggregates fair-share accounting per owner.
-type ownerState struct {
-	owner     string
-	running   int
-	perSchedd [][]*htcondor.Job // idle jobs grouped by schedd
-	queue     []*htcondor.Job   // interleaved merge of perSchedd
-	schedd    map[*htcondor.Job]*htcondor.Schedd
-}
-
-// mergeInterleaved round-robins across the owner's schedds so that
-// concurrent DAGMans under one user progress together instead of
-// draining in schedd order.
-func (os *ownerState) mergeInterleaved() {
-	total := 0
-	for _, q := range os.perSchedd {
-		total += len(q)
-	}
-	os.queue = make([]*htcondor.Job, 0, total)
-	for i := 0; total > 0; i++ {
-		for _, q := range os.perSchedd {
-			if i < len(q) {
-				os.queue = append(os.queue, q[i])
-				total--
-			}
-		}
-	}
-}
-
-// negotiate runs one fair-share matchmaking cycle.
+// negotiate runs one fair-share matchmaking cycle. The indexed
+// negotiator (negotiateIndexed) is the production path; the retained
+// seed linear scan (negotiate_ref.go) is switched in by the
+// equivalence property test.
 func (p *Pool) negotiate() {
 	if p.stopped {
 		return
 	}
 	if p.obs != nil {
-		p.obs.Counter("fdw_ospool_negotiation_cycles_total").Inc()
+		p.met.cycles.Inc()
 	}
-	// Build per-owner queues from all schedds.
-	owners := map[string]*ownerState{}
-	var order []string
-	running := map[string]int{}
-	for _, g := range p.glideins {
-		if g.job != nil {
-			running[g.job.Owner]++
-		}
-	}
-	for _, s := range p.schedds {
-		perOwner := map[string][]*htcondor.Job{}
-		for _, j := range s.IdleJobs() {
-			os, ok := owners[j.Owner]
-			if !ok {
-				os = &ownerState{owner: j.Owner, running: running[j.Owner], schedd: map[*htcondor.Job]*htcondor.Schedd{}}
-				owners[j.Owner] = os
-				order = append(order, j.Owner)
-			}
-			perOwner[j.Owner] = append(perOwner[j.Owner], j)
-			os.schedd[j] = s
-		}
-		for owner, jobs := range perOwner {
-			//lint:allow maporder each key appends to its own owner's slice, so iterations commute
-			owners[owner].perSchedd = append(owners[owner].perSchedd, jobs)
-		}
-	}
-	if len(owners) == 0 {
+	if p.useReference {
+		p.negotiateReference()
 		return
 	}
-	for _, os := range owners {
-		os.mergeInterleaved()
+	p.negotiateIndexed()
+}
+
+// negotiateIndexed is the fair-share cycle over the matchmaking index:
+// per-owner lazy cursors into the schedds' idle queues replace the
+// per-cycle queue copy + interleaved merge, and findSlot's per-site
+// heap walk replaces the per-job linear scan over every free glidein.
+// Match-for-match equivalent to negotiateReference — see DESIGN.md §12
+// for the argument, TestIndexedNegotiatorMatchesReference for the
+// property check.
+func (p *Pool) negotiateIndexed() {
+	now := p.kernel.Now()
+
+	// The per-job mask cache can outlive its jobs (claimed jobs are
+	// evicted eagerly, but removed/offloaded ones are not); sweep it
+	// when it clearly dominates the live idle population.
+	idleTotal := p.demand()
+	if len(p.maskByJob) > 4*idleTotal+1024 {
+		p.maskByJob = make(map[*htcondor.Job][]bool, idleTotal)
+	}
+
+	owners := map[string]*negOwner{}
+	var order []string
+	for _, s := range p.schedds {
+		for _, name := range s.IdleOwners() {
+			no := owners[name]
+			if no == nil {
+				no = &negOwner{name: name, running: p.ownerRunning[name]}
+				owners[name] = no
+				order = append(order, name)
+			}
+			no.cursors = append(no.cursors, s.OwnerIdleCursor(name))
+			no.schedds = append(no.schedds, s)
+		}
+	}
+	if len(order) == 0 {
+		return
 	}
 	sort.Strings(order) // deterministic iteration
 
-	// Free slot list.
-	var free []*glidein
-	for _, g := range p.glideins {
-		if g.job == nil && !g.retired {
-			free = append(free, g)
-		}
-	}
 	matches := 0
 	// Round-robin across owners ordered by effective usage (fewest
 	// running first) — HTCondor's fair-share in miniature.
-	for matches < p.cfg.MatchesPerCycle && len(free) > 0 {
+	for matches < p.cfg.MatchesPerCycle && p.freeCount > 0 {
 		sort.SliceStable(order, func(a, b int) bool {
 			return owners[order[a]].running < owners[order[b]].running
 		})
 		progress := false
 		for _, name := range order {
-			os := owners[name]
-			if len(os.queue) == 0 {
+			no := owners[name]
+			job, schedd := no.peek()
+			if job == nil {
 				continue
 			}
-			if matches >= p.cfg.MatchesPerCycle || len(free) == 0 {
+			if matches >= p.cfg.MatchesPerCycle || p.freeCount == 0 {
 				break
 			}
-			job := os.queue[0]
-			slot := -1
-			for i, g := range free {
-				if p.recovery != nil && p.recovery.VetoMatch(g.site.Name, p.kernel.Now()) {
-					continue // open circuit breaker: site sits out this cycle
-				}
-				ok, err := job.Matches(g.ad)
-				if err == nil && ok {
-					slot = i
-					break
-				}
-			}
-			if slot < 0 {
+			g := p.findSlot(job, now)
+			no.pop()
+			if g == nil {
 				// Nothing in the pool matches this job now; skip the
 				// owner's head-of-line job this cycle.
-				os.queue = os.queue[1:]
 				continue
 			}
-			g := free[slot]
-			free = append(free[:slot], free[slot+1:]...)
-			os.queue = os.queue[1:]
-			os.running++
-			p.claim(g, job, os.schedd[job])
+			no.running++
+			p.claim(g, job, schedd)
 			matches++
 			progress = true
 		}
@@ -678,19 +811,28 @@ func (p *Pool) negotiate() {
 		}
 	}
 	if p.obs != nil && matches > 0 {
-		p.obs.Counter("fdw_ospool_matches_total").Add(uint64(matches))
+		p.met.matches.Add(uint64(matches))
 		p.slotGauges()
 	}
 }
 
 // claim starts job on glidein g: input transfer, execution, output.
 func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
-	host := fmt.Sprintf("glidein-%d.%s", g.id, g.site.Name)
-	if err := schedd.MarkRunning(job, host); err != nil {
+	if err := schedd.MarkRunning(job, g.host); err != nil {
 		return
+	}
+	if g.heapIdx >= 0 {
+		p.removeFree(g)
 	}
 	g.job = job
 	g.schedd = schedd
+	p.byJob[job] = g
+	p.busy++
+	p.ownerRunning[job.Owner]++
+	delete(p.maskByJob, job)
+	if p.traceMatch != nil {
+		p.traceMatch(job, g)
+	}
 	p.started++
 
 	transferIn := 0.0
@@ -748,7 +890,7 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 	if p.obs != nil {
 		now := p.kernel.Now()
 		if transferIn > 0 {
-			p.obs.Histogram("fdw_ospool_transfer_in_seconds").Observe(transferIn)
+			p.met.transferIn.Observe(transferIn)
 		}
 		if sp := schedd.JobSpan(job); sp != nil {
 			sp.AnnotateAt("input_transfer", now, transferIn)
@@ -769,12 +911,11 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 				if g.job != job {
 					return // evicted meanwhile
 				}
-				g.job, g.schedd = nil, nil
-				g.idleAt = p.kernel.Now()
+				p.release(g)
 				p.evictions++
 				p.wastedSeconds += float64(deadline)
 				if p.obs != nil {
-					p.obs.Counter("fdw_ospool_deadline_evictions_total", "site", g.site.Name).Inc()
+					p.met.deadline[g.siteIdx].Inc()
 				}
 				if p.recovery != nil {
 					p.recovery.AttemptEnded(g.site.Name, job, AttemptDeadline, float64(deadline), p.kernel.Now())
@@ -790,8 +931,7 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 		if g.job != job {
 			return // evicted meanwhile
 		}
-		g.job, g.schedd = nil, nil
-		g.idleAt = p.kernel.Now()
+		p.release(g)
 		if exitCode != 0 {
 			p.wastedSeconds += float64(total)
 		}
@@ -808,7 +948,7 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 			job.Failures++
 			p.evictions++
 			if p.obs != nil {
-				p.obs.Counter("fdw_ospool_job_retries_total").Inc()
+				p.met.jobRetries.Inc()
 			}
 			_ = schedd.MarkEvicted(job)
 			return
@@ -826,28 +966,27 @@ func (p *Pool) claim(g *glidein, job *htcondor.Job, schedd *htcondor.Schedd) {
 // slot's elapsed time counts as wasted. It reports whether a running
 // claim for j was found.
 func (p *Pool) CancelClaim(j *htcondor.Job) bool {
-	for _, g := range p.glideins {
-		if g.job == j {
-			if g.done != nil {
-				g.done.Cancel()
-				g.done = nil
-			}
-			g.job, g.schedd = nil, nil
-			g.idleAt = p.kernel.Now()
-			p.wastedSeconds += float64(p.kernel.Now() - j.StartTime)
-			if p.obs != nil {
-				p.obs.Counter("fdw_ospool_claims_cancelled_total", "site", g.site.Name).Inc()
-			}
-			p.slotGauges()
-			return true
-		}
+	g := p.byJob[j]
+	if g == nil {
+		return false
 	}
-	return false
+	if g.done != nil {
+		g.done.Cancel()
+		g.done = nil
+	}
+	p.release(g)
+	p.wastedSeconds += float64(p.kernel.Now() - j.StartTime)
+	if p.obs != nil {
+		p.met.cancelled[g.siteIdx].Inc()
+	}
+	p.slotGauges()
+	return true
 }
 
 // RunUntilDone advances the kernel until every registered schedd has
 // drained or the horizon passes; it returns an error on timeout.
-// The pool is stopped either way.
+// The pool is stopped either way, and every schedd's user log is
+// flushed so the on-disk text is complete.
 func (p *Pool) RunUntilDone(horizon sim.Time) error {
 	allDone := func() bool {
 		for _, s := range p.schedds {
@@ -863,6 +1002,9 @@ func (p *Pool) RunUntilDone(horizon sim.Time) error {
 		}
 	}
 	p.Stop()
+	for _, s := range p.schedds {
+		_ = s.Log().Flush()
+	}
 	if !allDone() {
 		return fmt.Errorf("ospool: workload not drained by horizon %v (completed %d): %s",
 			horizon, p.completed, p.stuckDiagnostic())
@@ -877,7 +1019,7 @@ func (p *Pool) stuckDiagnostic() string {
 	var idle, running, held, staged, completed, removed int
 	for _, s := range p.schedds {
 		staged += s.StagedCount()
-		idle += len(s.IdleJobs())
+		idle += s.QueueDepth()
 		for _, j := range s.AllJobs() {
 			switch j.Status {
 			case htcondor.Running:
@@ -893,7 +1035,7 @@ func (p *Pool) stuckDiagnostic() string {
 	}
 	msg := fmt.Sprintf("jobs idle=%d running=%d held=%d staged=%d completed=%d removed=%d; glideins live=%d busy=%d pending=%d",
 		idle, running, held, staged, completed, removed,
-		len(p.glideins), p.RunningCount(), p.pending)
+		len(p.live), p.busy, p.pending)
 	if p.recovery != nil {
 		if open := p.recovery.OpenBreakers(p.kernel.Now()); len(open) > 0 {
 			msg += fmt.Sprintf("; open breakers=%v", open)

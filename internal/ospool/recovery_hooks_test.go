@@ -131,18 +131,21 @@ func TestGlideinIdleRetirementBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := &glidein{site: &p.cfg.Sites[0], idleAt: 0, expire: 1 << 30}
-	p.glideins = append(p.glideins, g)
+	g := &glidein{id: p.nextID, site: p.sites[0].cfg, siteIdx: 0, ad: p.sites[0].ad, idleAt: 0, expire: 1 << 30}
+	p.nextID++
+	p.live[g.id] = g
+	p.sites[0].liveCount++
+	p.addFree(g)
 
 	k.At(900, func() {
 		p.provision()
-		if len(p.glideins) != 1 {
+		if len(p.live) != 1 {
 			t.Errorf("pilot idle for exactly the timeout was retired (now-idleAt == timeout must survive)")
 		}
 	})
 	k.At(901, func() {
 		p.provision()
-		if len(p.glideins) != 0 {
+		if len(p.live) != 0 {
 			t.Errorf("pilot idle past the timeout was not retired")
 		}
 	})

@@ -35,15 +35,25 @@ type Event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among equal timestamps
 	fn     func()
+	k      *Kernel
 	cancel bool
 	index  int // heap index, -1 once popped
 }
 
 // Cancel marks the event so its callback will not run. Safe to call
 // multiple times and after the event has fired (then it is a no-op).
+// A cancelled event still on the calendar becomes a tombstone; the
+// kernel reaps tombstones in bulk once they outnumber live events, so
+// heap size and memory stay proportional to live events even under
+// heavy timer churn (deadline timers, hedges, tickers).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancel = true
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 && e.k != nil {
+		e.k.cancelled++
+		e.k.maybeReap()
 	}
 }
 
@@ -89,6 +99,9 @@ type Kernel struct {
 	rng    *RNG
 	// Steps counts executed events, for runaway detection in tests.
 	steps uint64
+	// cancelled counts tombstones still on the calendar; maybeReap
+	// compacts the heap when they dominate.
+	cancelled int
 }
 
 // NewKernel returns a kernel at time zero with a deterministic RNG.
@@ -105,9 +118,38 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 // Steps reports how many events have executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
 
-// Pending reports the number of events still on the calendar
-// (including cancelled events not yet reaped).
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending reports the number of live (non-cancelled) events still on
+// the calendar. Cancelled-but-unreaped tombstones are excluded, so the
+// value tracks real future work rather than heap occupancy.
+func (k *Kernel) Pending() int { return len(k.events) - k.cancelled }
+
+// reapMinEvents is the heap size below which tombstone reaping is not
+// worth the compaction pass.
+const reapMinEvents = 64
+
+// maybeReap compacts the calendar when cancelled tombstones exceed
+// half the heap: live events are kept (their relative execution order
+// is fully determined by the (at, seq) key, so re-heapifying cannot
+// reorder anything observable) and the dead ones are dropped.
+func (k *Kernel) maybeReap() {
+	if len(k.events) < reapMinEvents || k.cancelled*2 <= len(k.events) {
+		return
+	}
+	live := k.events[:0]
+	for _, e := range k.events {
+		if e.cancel {
+			e.index = -1
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	k.cancelled = 0
+	heap.Init(&k.events)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it would silently corrupt causality.
@@ -115,7 +157,7 @@ func (k *Kernel) At(at Time, fn func()) *Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
+	e := &Event{at: at, seq: k.seq, fn: fn, k: k}
 	k.seq++
 	heap.Push(&k.events, e)
 	return e
@@ -132,6 +174,7 @@ func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
 		e := heap.Pop(&k.events).(*Event)
 		if e.cancel {
+			k.cancelled--
 			continue
 		}
 		k.now = e.at
@@ -156,6 +199,7 @@ func (k *Kernel) RunUntil(deadline Time) {
 		e := k.events[0]
 		if e.cancel {
 			heap.Pop(&k.events)
+			k.cancelled--
 			continue
 		}
 		if e.at > deadline {

@@ -398,3 +398,54 @@ func TestBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.25) frequency %v", frac)
 	}
 }
+
+func TestCancelledEventsAreReaped(t *testing.T) {
+	k := NewKernel(1)
+	// Schedule many timers and cancel almost all of them, the pattern a
+	// deadline/hedge-heavy pool produces. Without reaping the heap
+	// retains every tombstone until its timestamp is reached.
+	const n = 10000
+	events := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		events = append(events, k.At(Time(1000+i), func() {}))
+	}
+	live := 0
+	for i, e := range events {
+		if i%100 == 0 {
+			live++
+			continue
+		}
+		e.Cancel()
+	}
+	if got := k.Pending(); got != live {
+		t.Fatalf("Pending() = %d, want %d live events", got, live)
+	}
+	// Reaping keeps the heap proportional to live events: with 1% of
+	// timers surviving, well under half the tombstones may remain.
+	if got := len(k.events); got >= 2*live+reapMinEvents {
+		t.Fatalf("heap holds %d entries for %d live events; tombstones not reaped", got, live)
+	}
+	ran := 0
+	k.At(20000, func() {})
+	for k.Step() {
+		ran++
+	}
+	if ran != live+1 {
+		t.Fatalf("%d events ran, want %d", ran, live+1)
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	k := NewKernel(1)
+	e := k.At(1, func() {})
+	k.Run()
+	e.Cancel() // must not corrupt the tombstone accounting
+	e.Cancel()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after empty run", k.Pending())
+	}
+	k.At(2, func() {})
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+}

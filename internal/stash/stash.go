@@ -53,6 +53,15 @@ type Cache struct {
 	miss int
 
 	obs *obs.Registry
+	met stashMetrics
+}
+
+// stashMetrics holds the cache's metric handles, resolved once in
+// SetObs so TransferSeconds — called for every input delivery in the
+// simulation — skips the registry's name+label lookup.
+type stashMetrics struct {
+	hits, misses            *obs.Counter
+	originBytes, cacheBytes *obs.Counter
 }
 
 // New returns an empty cache with the given configuration.
@@ -68,8 +77,18 @@ func New(cfg Config) (*Cache, error) {
 // mirrors the hit/miss/bytes tallies.
 func (c *Cache) SetObs(r *obs.Registry) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.obs = r
-	c.mu.Unlock()
+	if r == nil {
+		c.met = stashMetrics{}
+		return
+	}
+	c.met = stashMetrics{
+		hits:        r.Counter("fdw_stash_hits_total"),
+		misses:      r.Counter("fdw_stash_misses_total"),
+		originBytes: r.Counter("fdw_stash_bytes_total", "tier", "origin"),
+		cacheBytes:  r.Counter("fdw_stash_bytes_total", "tier", "cache"),
+	}
 }
 
 // TransferSeconds returns the time to deliver obj to site. It does NOT
@@ -84,21 +103,21 @@ func (c *Cache) TransferSeconds(site string, obj Object) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	bps := c.cfg.OriginBps
-	tier := "origin"
-	if c.warm[site][obj.Key] {
+	warm := c.warm[site][obj.Key]
+	if warm {
 		bps = c.cfg.CacheBps
-		tier = "cache"
 		c.hits++
 	} else {
 		c.miss++
 	}
 	if c.obs != nil {
-		if tier == "cache" {
-			c.obs.Counter("fdw_stash_hits_total").Inc()
+		if warm {
+			c.met.hits.Inc()
+			c.met.cacheBytes.Add(uint64(obj.Bytes))
 		} else {
-			c.obs.Counter("fdw_stash_misses_total").Inc()
+			c.met.misses.Inc()
+			c.met.originBytes.Add(uint64(obj.Bytes))
 		}
-		c.obs.Counter("fdw_stash_bytes_total", "tier", tier).Add(uint64(obj.Bytes))
 	}
 	return c.cfg.LatencyS + float64(obj.Bytes)/bps
 }

@@ -1,97 +1,133 @@
 #!/bin/sh
-# Benchmark regression gate: reruns the kernel benchmarks and compares
-# ns/op against the recorded baseline in BENCH_kernels.json. Absolute
-# numbers vary wildly across hosts, so only a >TOLERANCE-fold slowdown
-# on a benchmark the baseline knows about fails; new benchmarks and
-# speedups are reported but never fatal. CI runs this as a separate
-# advisory (non-required) job.
+# Benchmark regression gate: for every BENCH_*.json baseline in the
+# repo root, rerun that suite's benchmarks and compare ns/op against
+# the recorded values. Absolute numbers vary wildly across hosts, so
+# only a >TOLERANCE-fold slowdown on a benchmark the baseline knows
+# about fails; new benchmarks and speedups are reported but never
+# fatal. CI runs this as a separate advisory (non-required) job.
+#
+# Each baseline declares its own scope:
+#
+#	"bench_regex"  go test -bench pattern    (required per file)
+#	"benchtime"    go test -benchtime value  (default $BENCHTIME)
 #
 # Environment knobs:
 #
-#	BASELINE   baseline file        (default BENCH_kernels.json)
-#	TOLERANCE  allowed slowdown     (default 2.0)
-#	BENCHTIME  go test -benchtime   (default 2x)
+#	BASELINE   run a single baseline file only (default: all BENCH_*.json)
+#	TOLERANCE  allowed slowdown               (default 2.0)
+#	BENCHTIME  fallback go test -benchtime    (default 2x)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=${BASELINE:-BENCH_kernels.json}
 TOLERANCE=${TOLERANCE:-2.0}
 BENCHTIME=${BENCHTIME:-2x}
 
-# The comparison is advisory: a missing baseline (fresh checkout,
-# pruned artifact) means there is nothing to compare against, which is
-# a pass, not a failure.
-if [ ! -f "$BASELINE" ]; then
-	echo "benchdiff: baseline $BASELINE not found; skipping comparison (advisory pass)"
-	echo "benchdiff: record one with: go test -run '^$' -bench . -benchtime 5x . > bench.txt and update $BASELINE"
+# json_str FILE KEY prints the string value of a top-level "KEY" field.
+json_str() {
+	sed -n 's/.*"'"$2"'"[ \t]*:[ \t]*"\([^"]*\)".*/\1/p' "$1" | head -n 1
+}
+
+# compare BASELINE OUTPUT prints the per-suite summary and returns
+# non-zero when any known benchmark regressed beyond TOLERANCE.
+compare() {
+	awk -v tol="$TOLERANCE" -v baseline="$1" '
+		# Pass 1: the baseline JSON. ns_per_op entries look like
+		#   "BenchmarkCholesky/serial/256": 2240650,
+		# and benchmark names never appear elsewhere in the file.
+		FNR == NR {
+			if ($0 ~ /"Benchmark[^"]*":/) {
+				name = $0
+				sub(/^[ \t]*"/, "", name)
+				sub(/".*$/, "", name)
+				val = $0
+				sub(/^[^:]*:[ \t]*/, "", val)
+				sub(/,.*$/, "", val)
+				base[name] = val + 0
+			}
+			next
+		}
+		# Pass 2: go test -bench output. Result lines carry the GOMAXPROCS
+		# suffix (Benchmark.../256-4) and ns/op in the field before "ns/op".
+		$1 ~ /^Benchmark/ {
+			ns = -1
+			for (i = 2; i <= NF; i++)
+				if ($i == "ns/op") ns = $(i - 1) + 0
+			if (ns < 0) next
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			seen[name] = 1
+			if (!(name in base)) {
+				printf "  NEW       %-44s %14.0f ns/op (no baseline)\n", name, ns
+				next
+			}
+			ratio = ns / base[name]
+			verdict = "ok"
+			if (ratio > tol) {
+				verdict = "REGRESSED"
+				failed++
+			}
+			printf "  %-9s %-44s %14.0f ns/op  baseline %14.0f  ratio %.2fx\n", \
+				verdict, name, ns, base[name], ratio
+		}
+		END {
+			# Baseline entries the run no longer produces (renamed or
+			# deleted benchmarks) are reported but never fatal: the
+			# baseline is a recorded artifact, not a contract.
+			missing = 0
+			for (n in base)
+				if (!(n in seen)) {
+					printf "  MISSING   %-44s baseline %14.0f ns/op (not produced by this run)\n", n, base[n] | "sort"
+					missing++
+				}
+			close("sort")
+			if (missing)
+				printf "%s: %d baseline benchmark(s) missing from this run (advisory; update the file if renamed)\n", baseline, missing
+			if (failed) {
+				printf "%s: %d benchmark(s) regressed more than %.1fx\n", baseline, failed, tol
+				exit 1
+			}
+			printf "%s: OK (no regression beyond %sx)\n", baseline, tol
+		}
+	' "$1" "$2"
+}
+
+baselines=${BASELINE:-$(ls BENCH_*.json 2>/dev/null || true)}
+
+# The comparison is advisory: no baselines (fresh checkout, pruned
+# artifacts) means there is nothing to compare against, which is a
+# pass, not a failure.
+if [ -z "$baselines" ]; then
+	echo "benchdiff: no BENCH_*.json baselines found; skipping comparison (advisory pass)"
+	echo "benchdiff: record one with: go test -run '^\$' -bench <regex> -benchtime 5x . and write BENCH_<suite>.json"
 	exit 0
 fi
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
+status=0
 
-echo "== go test -bench (benchtime $BENCHTIME, baseline $BASELINE, tolerance ${TOLERANCE}x)"
-go test -run '^$' -bench 'BenchmarkCholesky|BenchmarkMatMul|BenchmarkGenerateScenario' \
-	-benchtime "$BENCHTIME" . | tee "$out"
+for b in $baselines; do
+	if [ ! -f "$b" ]; then
+		echo "benchdiff: baseline $b not found; skipping (advisory pass)"
+		continue
+	fi
+	regex=$(json_str "$b" bench_regex)
+	if [ -z "$regex" ]; then
+		echo "benchdiff: $b has no bench_regex field; skipping (advisory pass)"
+		continue
+	fi
+	bt=$(json_str "$b" benchtime)
+	[ -n "$bt" ] || bt=$BENCHTIME
+	echo "== $b: go test -bench '$regex' (benchtime $bt, tolerance ${TOLERANCE}x)"
+	go test -run '^$' -bench "$regex" -benchtime "$bt" . | tee "$out"
+	echo
+	compare "$b" "$out" || status=1
+	echo
+done
 
-echo
-awk -v tol="$TOLERANCE" -v baseline="$BASELINE" '
-	# Pass 1: the baseline JSON. ns_per_op entries look like
-	#   "BenchmarkCholesky/serial/256": 2240650,
-	# and benchmark names never appear elsewhere in the file.
-	FNR == NR {
-		if ($0 ~ /"Benchmark[^"]*":/) {
-			name = $0
-			sub(/^[ \t]*"/, "", name)
-			sub(/".*$/, "", name)
-			val = $0
-			sub(/^[^:]*:[ \t]*/, "", val)
-			sub(/,.*$/, "", val)
-			base[name] = val + 0
-		}
-		next
-	}
-	# Pass 2: go test -bench output. Result lines carry the GOMAXPROCS
-	# suffix (Benchmark.../256-4) and ns/op in the field before "ns/op".
-	$1 ~ /^Benchmark/ {
-		ns = -1
-		for (i = 2; i <= NF; i++)
-			if ($i == "ns/op") ns = $(i - 1) + 0
-		if (ns < 0) next
-		name = $1
-		sub(/-[0-9]+$/, "", name)
-		seen[name] = 1
-		if (!(name in base)) {
-			printf "  NEW       %-44s %14.0f ns/op (no baseline)\n", name, ns
-			next
-		}
-		ratio = ns / base[name]
-		verdict = "ok"
-		if (ratio > tol) {
-			verdict = "REGRESSED"
-			failed++
-		}
-		printf "  %-9s %-44s %14.0f ns/op  baseline %14.0f  ratio %.2fx\n", \
-			verdict, name, ns, base[name], ratio
-	}
-	END {
-		# Baseline entries the run no longer produces (renamed or
-		# deleted benchmarks) are reported but never fatal: the
-		# baseline is a recorded artifact, not a contract.
-		missing = 0
-		for (n in base)
-			if (!(n in seen)) {
-				printf "  MISSING   %-44s baseline %14.0f ns/op (not produced by this run)\n", n, base[n] | "sort"
-				missing++
-			}
-		close("sort")
-		if (missing)
-			printf "benchdiff: %d baseline benchmark(s) missing from this run (advisory; update %s if renamed)\n", missing, baseline
-		if (failed) {
-			printf "benchdiff: %d benchmark(s) regressed more than %.1fx\n", failed, tol
-			exit 1
-		}
-		print "benchdiff: OK (no regression beyond " tol "x)"
-	}
-' "$BASELINE" "$out"
+if [ "$status" -ne 0 ]; then
+	echo "benchdiff: FAIL (at least one suite regressed beyond ${TOLERANCE}x)"
+	exit 1
+fi
+echo "benchdiff: all suites OK"

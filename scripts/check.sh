@@ -31,7 +31,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== bench smoke (-benchtime 1x)"
-go test -run '^$' -bench . -benchtime 1x .
+# -short keeps the smoke to the 10k/100k pool configurations; the
+# 1M-job ones take tens of seconds and belong to the advisory bench
+# job (scripts/benchdiff.sh against BENCH_pool.json).
+echo "== bench smoke (-benchtime 1x -short)"
+go test -run '^$' -bench . -benchtime 1x -short .
 
 echo "check: OK"
