@@ -4,6 +4,8 @@
 // Usage:
 //
 //	fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all
+//	fdwexp -shard i/N [-resume] [-cells k] [-out dir] fig2|fig3|fig5|fig6|chaos
+//	fdwexp -merge [-csv dir] [-metrics path] manifest.json...
 //
 // Flags:
 //
@@ -22,18 +24,32 @@
 // fig5 runs the bursting sweep uncapped (VDC usage, §5.3.1–5.3.2);
 // fig6 reruns it with the paper's 30% bursted-job cap for the cost and
 // runtime comparison (§5.3.3–5.3.4).
+//
+// -shard i/N runs one deterministic slice of a campaign and writes a
+// manifest bundle (checkpointed after every cell; -resume picks up an
+// interrupted one); -merge verifies a full set of shard bundles and
+// reproduces the unsharded report/CSV byte-for-byte (DESIGN.md §13).
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 shard incomplete
+// (budget hit or merge of an unfinished shard — resume and retry).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fdw"
 	"fdw/internal/expt"
 )
+
+const usageLine = `usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all
+       fdwexp -shard i/N [-resume] [-cells k] [-out dir] fig2|fig3|fig5|fig6|chaos
+       fdwexp -merge [-csv dir] [-metrics path] manifest.json...`
 
 func main() {
 	var (
@@ -42,12 +58,13 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write the figure data as CSV into this directory")
 		workers = flag.Int("j", 0, "concurrent simulations (0 = all cores); any value gives byte-identical output")
 		metrics = flag.String("metrics", "", "write a JSON metrics snapshot here after the experiments")
+		shard   = flag.String("shard", "", "run one shard i/N of a campaign and write its manifest bundle")
+		merge   = flag.Bool("merge", false, "merge shard manifest bundles into the unsharded report")
+		resume  = flag.Bool("resume", false, "with -shard: resume the existing manifest, rerunning only incomplete cells")
+		cells   = flag.Int("cells", 0, "with -shard: stop after this many cells (exit 3; -resume finishes)")
+		outDir  = flag.String("out", ".", "with -shard: directory for the manifest bundle")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all")
-		os.Exit(2)
-	}
 	opt := fdw.DefaultExperimentOptions()
 	opt.Scale = *scale
 	opt.Out = os.Stdout
@@ -62,16 +79,139 @@ func main() {
 		opt.Obs = fdw.NewMetrics(nil)
 		fdw.MeterFactorCache(opt.Obs)
 	}
-	if err := dispatch(flag.Arg(0), opt, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "fdwexp:", err)
-		os.Exit(1)
-	}
-	if *metrics != "" {
-		if err := writeMetrics(*metrics, opt.Obs); err != nil {
-			fmt.Fprintln(os.Stderr, "fdwexp:", err)
-			os.Exit(1)
+
+	var err error
+	switch {
+	case *shard != "" && *merge:
+		err = usageErrorf("-shard and -merge are mutually exclusive")
+	case *shard != "":
+		if flag.NArg() != 1 {
+			err = usageErrorf("-shard needs exactly one campaign argument")
+			break
+		}
+		err = runShardCmd(opt, *shard, flag.Arg(0), *outDir, *cells, *resume)
+	case *merge:
+		if flag.NArg() < 1 {
+			err = usageErrorf("-merge needs at least one manifest path")
+			break
+		}
+		err = runMergeCmd(opt, *csvDir, *metrics, flag.Args())
+	default:
+		if *resume || *cells != 0 {
+			err = usageErrorf("-resume and -cells only apply with -shard")
+			break
+		}
+		if flag.NArg() != 1 {
+			err = usageErrorf("")
+			break
+		}
+		err = dispatch(flag.Arg(0), opt, *csvDir)
+		if err == nil && *metrics != "" {
+			err = writeMetrics(*metrics, opt.Obs)
 		}
 	}
+	if err != nil {
+		if errors.As(err, new(usageError)) {
+			if msg := err.Error(); msg != "" {
+				fmt.Fprintln(os.Stderr, "fdwexp:", msg)
+			}
+			fmt.Fprintln(os.Stderr, usageLine)
+		} else {
+			fmt.Fprintln(os.Stderr, "fdwexp:", err)
+		}
+		os.Exit(exitCode(err))
+	}
+}
+
+// usageError marks command-line misuse (exit 2).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func usageErrorf(format string, args ...any) error {
+	return usageError(fmt.Sprintf(format, args...))
+}
+
+// exitCode maps an error to the documented process exit code: 2 for
+// usage, 3 for an incomplete/resumable shard, 1 otherwise.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, new(usageError)):
+		return 2
+	case errors.Is(err, expt.ErrIncomplete):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// parseShardSpec parses "i/N" (1-based).
+func parseShardSpec(s string) (index, total int, err error) {
+	if n, err := fmt.Sscanf(s, "%d/%d", &index, &total); err != nil || n != 2 || strings.Count(s, "/") != 1 {
+		return 0, 0, usageErrorf("bad -shard %q, want i/N (e.g. 2/4)", s)
+	}
+	if total < 1 || index < 1 || index > total {
+		return 0, 0, usageErrorf("-shard %s out of range", s)
+	}
+	return index, total, nil
+}
+
+// shardBundlePath is the conventional manifest name for a shard.
+func shardBundlePath(dir, campaign string, index, total int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.shard%dof%d.json", campaign, index, total))
+}
+
+// runShardCmd executes one campaign shard, checkpointing its manifest
+// bundle under dir. Incomplete runs surface expt.ErrIncomplete (exit
+// 3) with the bundle left resumable on disk.
+func runShardCmd(opt fdw.ExperimentOptions, spec, campaign, dir string, maxCells int, resume bool) error {
+	index, total, err := parseShardSpec(spec)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := shardBundlePath(dir, campaign, index, total)
+	m, err := expt.RunShard(opt, expt.ShardRun{
+		Campaign: campaign,
+		Index:    index,
+		Total:    total,
+		Path:     path,
+		MaxCells: maxCells,
+		Resume:   resume,
+	})
+	if m != nil {
+		fmt.Fprintf(os.Stderr, "fdwexp: shard %d/%d of %s: %d/%d cells done, manifest %s\n",
+			index, total, campaign, m.Ledger.DoneCount(), len(m.Ledger.Nodes), path)
+	}
+	return err
+}
+
+// runMergeCmd stitches shard bundles back into the unsharded report
+// (stdout), CSV (-csv), and metrics rollup (-metrics).
+func runMergeCmd(opt fdw.ExperimentOptions, csvDir, metricsPath string, paths []string) error {
+	res, err := expt.MergeManifestFiles(opt, paths)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(csvDir, res.CSVName, res.WriteCSV); err != nil {
+		return err
+	}
+	if metricsPath != "" && res.Metrics != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := fdw.WriteMetricsSnapshot(f, res.Metrics); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // writeMetrics dumps the shared registry as a JSON snapshot.

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fdw"
@@ -30,5 +35,124 @@ func TestDispatchEveryFigure(t *testing.T) {
 func TestDispatchUnknown(t *testing.T) {
 	if err := dispatch("fig99", quickOpt(), ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestParseShardSpec(t *testing.T) {
+	i, n, err := parseShardSpec("2/4")
+	if err != nil || i != 2 || n != 4 {
+		t.Fatalf("2/4 → %d %d %v", i, n, err)
+	}
+	for _, bad := range []string{"", "4", "0/4", "5/4", "2/0", "a/b", "1/2/3", "-1/4"} {
+		if _, _, err := parseShardSpec(bad); exitCode(err) != 2 {
+			t.Errorf("%q: want usage error, got %v", bad, err)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), 1},
+		{usageErrorf("bad flags"), 2},
+		{fdw.ErrShardIncomplete, 3},
+		{fmt.Errorf("shard 1/2: %w", fdw.ErrShardIncomplete), 3},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// The CLI path end to end: N shard invocations plus a merge reproduce
+// the unsharded command's stdout report and CSV byte-for-byte.
+func TestShardMergeCLIRoundTrip(t *testing.T) {
+	opt := quickOpt()
+	var wantRep bytes.Buffer
+	opt.Out = &wantRep
+	wantCSVDir := t.TempDir()
+	if err := dispatch("fig2", opt, wantCSVDir); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join(wantCSVDir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 4
+	bundleDir := t.TempDir()
+	var paths []string
+	for i := 1; i <= total; i++ {
+		sopt := quickOpt()
+		if err := runShardCmd(sopt, fmt.Sprintf("%d/%d", i, total), "fig2", bundleDir, 0, false); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, total, err)
+		}
+		paths = append(paths, shardBundlePath(bundleDir, "fig2", i, total))
+	}
+	mopt := quickOpt()
+	var gotRep bytes.Buffer
+	mopt.Out = &gotRep
+	gotCSVDir := t.TempDir()
+	if err := runMergeCmd(mopt, gotCSVDir, "", paths); err != nil {
+		t.Fatal(err)
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(gotCSVDir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantRep.Bytes(), gotRep.Bytes()) {
+		t.Errorf("merged report differs from unsharded run:\n--- want\n%s\n--- got\n%s", wantRep.Bytes(), gotRep.Bytes())
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Error("merged CSV differs from unsharded run")
+	}
+}
+
+// A budgeted shard exits resumable (code 3) and a -resume invocation
+// finishes it; merging then succeeds.
+func TestShardBudgetResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	opt := quickOpt()
+	err := runShardCmd(opt, "1/1", "fig2", dir, 1, false)
+	if exitCode(err) != 3 {
+		t.Fatalf("budgeted shard: err %v (exit %d), want exit 3", err, exitCode(err))
+	}
+	if err := runShardCmd(quickOpt(), "1/1", "fig2", dir, 0, true); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	mopt := quickOpt()
+	if err := runMergeCmd(mopt, "", "", []string{shardBundlePath(dir, "fig2", 1, 1)}); err != nil {
+		t.Fatalf("merge after resume: %v", err)
+	}
+}
+
+// -merge with a metrics rollup writes a readable snapshot.
+func TestMergeWritesMetricsRollup(t *testing.T) {
+	dir := t.TempDir()
+	opt := quickOpt()
+	opt.Obs = fdw.NewMetrics(nil)
+	if err := runShardCmd(opt, "1/1", "fig2", dir, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "metrics.json")
+	mopt := quickOpt()
+	if err := runMergeCmd(mopt, "", out, []string{shardBundlePath(dir, "fig2", 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := fdw.ReadMetricsSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Error("metrics rollup has no counters")
 	}
 }

@@ -88,6 +88,17 @@ func NewMetrics(clock func() SimTime) *Metrics { return obs.NewRegistry(clock) }
 // Metrics.WriteJSON (the `-metrics` dump of cmd/fdw and cmd/fdwexp).
 var ReadMetricsSnapshot = obs.ReadSnapshot
 
+// MergeMetricsSnapshots rolls several snapshots (e.g. one per campaign
+// shard) into one: counters and histogram mass sum exactly, gauges
+// keep the latest sample, quantiles are re-estimated from merged
+// buckets. Deterministic output order; nil inputs are skipped.
+var MergeMetricsSnapshots = obs.MergeSnapshots
+
+// WriteMetricsSnapshot renders a snapshot in the same JSON format as
+// Metrics.WriteJSON, so merged rollups and live dumps are
+// interchangeable inputs to ReadMetricsSnapshot.
+var WriteMetricsSnapshot = obs.WriteSnapshotJSON
+
 // NewMeteredEnv is NewEnv plus a fresh Metrics registry clocked by the
 // environment's kernel and attached to every subsystem; read it back
 // via Env.Obs.
@@ -304,6 +315,31 @@ var (
 	// under every standard fault plan, with termination, conservation,
 	// and determinism invariants enforced (DESIGN.md §10).
 	Chaos = expt.Chaos
+)
+
+// Distributed campaign runner (DESIGN.md §13): figure campaigns
+// partition into deterministic shards whose manifest bundles merge
+// back into the byte-identical unsharded report — the fdwexp
+// -shard/-merge/-resume machinery.
+type (
+	CampaignManifest = expt.CampaignManifest
+	CampaignShardRun = expt.ShardRun
+	CampaignMerge    = expt.MergeResult
+	ShardSpec        = expt.ShardSpec
+)
+
+var (
+	// RunCampaignShard executes one shard of a campaign, checkpointing
+	// its manifest after every completed cell; ErrShardIncomplete marks
+	// a budgeted (resumable) stop.
+	RunCampaignShard = expt.RunShard
+	// MergeCampaignManifests verifies a complete set of shard bundles
+	// and re-finalizes the campaign identically to an unsharded run.
+	MergeCampaignManifests    = expt.MergeManifests
+	MergeCampaignManifestFile = expt.MergeManifestFiles
+	ReadCampaignManifest      = expt.ReadCampaignManifest
+	ShardableCampaigns        = expt.ShardableCampaigns
+	ErrShardIncomplete        = expt.ErrIncomplete
 )
 
 // Scenario bundles one FakeQuakes rupture and its station waveforms.

@@ -1,0 +1,127 @@
+package dagman
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Manifest is the machine-readable counterpart of a rescue DAG
+// (WriteRescue): which nodes of one named DAG run are done, as JSON.
+// Where a rescue DAG is re-parsed by DAGMan itself, a Manifest is meant
+// for other tooling — the sharded campaign runner (internal/expt) reuses
+// it as the cell-completion ledger inside its campaign manifests, so
+// checkpoint/resume rides on the same machinery as DAG-level rescue.
+type Manifest struct {
+	// Format is the manifest schema version (ManifestFormat).
+	Format int `json:"format"`
+	// DAG names the run this manifest belongs to.
+	DAG string `json:"dag"`
+	// Nodes lists every node in declaration order with its done flag.
+	Nodes []ManifestNode `json:"nodes"`
+}
+
+// ManifestNode is one node's completion record.
+type ManifestNode struct {
+	Name string `json:"name"`
+	Done bool   `json:"done"`
+}
+
+// ManifestFormat is the current manifest schema version.
+const ManifestFormat = 1
+
+// Manifest snapshots the executor's per-node completion state — the
+// rescue DAG's DONE markings in structured form. Nodes appear in DAG
+// declaration order, so the bytes are deterministic.
+func (e *Executor) Manifest() Manifest {
+	m := Manifest{Format: ManifestFormat, DAG: e.Name}
+	for _, name := range e.dag.Order {
+		m.Nodes = append(m.Nodes, ManifestNode{
+			Name: name,
+			Done: e.state[name].state == NodeDone,
+		})
+	}
+	return m
+}
+
+// Write renders the manifest as compact JSON.
+func (m Manifest) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadManifest parses and validates a manifest written by Write.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return m, fmt.Errorf("dagman: bad manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's structural invariants: a supported
+// format, a named DAG, and unique non-empty node names. Embedders (the
+// expt campaign manifest) call it on ledgers they carry.
+func (m Manifest) Validate() error {
+	if m.Format != ManifestFormat {
+		return fmt.Errorf("dagman: manifest format %d, want %d", m.Format, ManifestFormat)
+	}
+	if m.DAG == "" {
+		return fmt.Errorf("dagman: manifest has no dag name")
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("dagman: manifest node with empty name")
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("dagman: manifest lists node %q twice", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	return nil
+}
+
+// DoneCount returns how many listed nodes are done.
+func (m Manifest) DoneCount() int {
+	n := 0
+	for _, node := range m.Nodes {
+		if node.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyManifest marks the DAG's nodes Done per the manifest — the
+// structured equivalent of loading a rescue DAG before Start, so a new
+// Executor skips completed work. Nodes the manifest does not mention
+// keep their current flag; a manifest node missing from the DAG is an
+// error (the manifest belongs to a different DAG).
+func (d *DAG) ApplyManifest(m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for _, mn := range m.Nodes {
+		n, ok := d.Nodes[mn.Name]
+		if !ok {
+			return fmt.Errorf("dagman: manifest node %q not in DAG", mn.Name)
+		}
+		if mn.Done {
+			n.Done = true
+		}
+	}
+	return nil
+}

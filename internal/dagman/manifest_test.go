@@ -1,0 +1,144 @@
+package dagman
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fdw/internal/htcondor"
+	"fdw/internal/sim"
+)
+
+// The manifest is the rescue DAG in structured form: a failed run's
+// Manifest, applied to a fresh DAG, resumes exactly the non-done nodes
+// and converges to the same final states — the JSON counterpart of
+// TestRescueRoundTripResumesAndConverges.
+func TestManifestRoundTripResumesAndConverges(t *testing.T) {
+	mkDAG := func() *DAG {
+		d := NewDAG()
+		for _, n := range []string{"a", "b"} {
+			if err := d.AddNode(&Node{Name: n, SubmitFile: n + ".sub"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.AddNode(&Node{Name: "c", SubmitFile: "c.sub"}); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"a", "b"} {
+			if err := d.AddEdge(p, "c"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	run := func(d *DAG, exit func(node string) int) (*Executor, []submission) {
+		k := sim.NewKernel(1)
+		s := htcondor.NewSchedd("dag", k, nil)
+		var log []submission
+		e, err := NewExecutor("dag", d, k, s, namedFactory(k, &log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perNodeRun(k, s, 1, func(string) sim.Time { return 1 }, exit)
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return e, log
+	}
+
+	e1, _ := run(mkDAG(), func(node string) int {
+		if node == "b" {
+			return 1
+		}
+		return 0
+	})
+	if !e1.Done() || !e1.Failed() {
+		t.Fatalf("run 1: done=%v failed=%v", e1.Done(), e1.Failed())
+	}
+
+	m := e1.Manifest()
+	if m.DAG != "dag" || len(m.Nodes) != 3 {
+		t.Fatalf("manifest %+v", m)
+	}
+	if m.DoneCount() != 1 {
+		t.Fatalf("done count %d, want 1 (only a finished)", m.DoneCount())
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip changed the manifest: %+v vs %+v", m, back)
+	}
+
+	// Apply to a fresh DAG and rerun with the fault fixed.
+	resumed := mkDAG()
+	if err := resumed.ApplyManifest(back); err != nil {
+		t.Fatal(err)
+	}
+	e2, log2 := run(resumed, func(string) int { return 0 })
+	if !e2.Done() || e2.Failed() {
+		t.Fatalf("resumed run: done=%v failed=%v", e2.Done(), e2.Failed())
+	}
+	resubmitted := map[string]bool{}
+	for _, sub := range log2 {
+		resubmitted[sub.node] = true
+	}
+	if resubmitted["a"] {
+		t.Fatal("resumed run resubmitted a done node")
+	}
+	if !resubmitted["b"] || !resubmitted["c"] {
+		t.Fatalf("resumed run skipped a pending node: submitted %v", resubmitted)
+	}
+	e3, _ := run(mkDAG(), func(string) int { return 0 })
+	if !reflect.DeepEqual(e2.NodeStates(), e3.NodeStates()) {
+		t.Fatalf("resumed states %v != uninterrupted states %v", e2.NodeStates(), e3.NodeStates())
+	}
+	if e2.Manifest().DoneCount() != 3 {
+		t.Fatal("resumed run's manifest not fully done")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	cases := map[string]string{
+		"truncated":   `{"format":1,"dag":"x","nodes":[{"na`,
+		"bad format":  `{"format":99,"dag":"x","nodes":[]}`,
+		"no dag":      `{"format":1,"nodes":[]}`,
+		"dup node":    `{"format":1,"dag":"x","nodes":[{"name":"a","done":true},{"name":"a","done":false}]}`,
+		"empty name":  `{"format":1,"dag":"x","nodes":[{"name":"","done":true}]}`,
+		"not json":    `PARENT a CHILD b`,
+		"wrong shape": `[1,2,3]`,
+	}
+	for name, in := range cases {
+		if _, err := ReadManifest(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestApplyManifestUnknownNode(t *testing.T) {
+	d := NewDAG()
+	if err := d.AddNode(&Node{Name: "a", SubmitFile: "a.sub"}); err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{Format: ManifestFormat, DAG: "dag", Nodes: []ManifestNode{{Name: "ghost", Done: true}}}
+	if err := d.ApplyManifest(m); err == nil {
+		t.Fatal("manifest for a different DAG accepted")
+	}
+	// A manifest that omits a node leaves its flag alone.
+	ok := Manifest{Format: ManifestFormat, DAG: "dag", Nodes: []ManifestNode{{Name: "a", Done: true}}}
+	if err := d.ApplyManifest(ok); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Nodes["a"].Done {
+		t.Fatal("done flag not applied")
+	}
+}

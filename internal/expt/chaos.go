@@ -8,6 +8,7 @@ import (
 	"fdw/internal/faults"
 	"fdw/internal/htcondor"
 	"fdw/internal/recovery"
+	"fdw/internal/sim"
 )
 
 // The chaos sweep runs the Fig. 2-scale FDW workflow under the
@@ -72,35 +73,27 @@ func chaosRecoveryConfig(opt Options) recovery.Config {
 // (plan, seed, recovery) cell in grid order, recovery-off before
 // recovery-on within each (plan, seed). Rows and per-plan deltas are
 // printed to opt.Out; the fan-out across opt.Workers leaves the bytes
-// identical to a serial run.
+// identical to a serial run. The matrix is a shardable campaign
+// (campaign.go), so fdwexp -shard/-merge covers it too.
 func Chaos(opt Options) ([]ChaosRow, error) {
-	if err := opt.validate(); err != nil {
+	rows, err := runCampaign(chaosCampaign(), opt)
+	if err != nil {
 		return nil, err
 	}
-	plans := faults.StandardPlans()
+	return rows.([]ChaosRow), nil
+}
+
+// printChaosReport renders the full matrix plus per-plan deltas —
+// shared by the unsharded path and the campaign merge finalizer.
+func printChaosReport(opt Options, rows []ChaosRow) {
 	w := opt.out()
+	plans := faults.StandardPlans()
 	fmt.Fprintf(w, "Chaos sweep — %d fault plans × %d seeds × recovery {off,on} (scale %.3f)\n",
 		len(plans), len(opt.Seeds), opt.Scale)
 	fmt.Fprintf(w, "%15s %6s %4s %5s %6s | %6s %6s %6s %7s | %7s %6s %10s %8s %9s\n",
 		"plan", "seed", "rec", "done", "dagok",
 		"jobs", "ok", "fail", "removed",
 		"retries", "evict", "runtime h", "jpm", "wasted h")
-
-	reps := len(opt.Seeds)
-	rows := make([]ChaosRow, len(plans)*reps*2)
-	err := forEachIndex(opt.workers(), len(rows), func(i int) error {
-		cell := i / 2
-		plan, seed, rec := plans[cell/reps], opt.Seeds[cell%reps], i%2 == 1
-		row, err := chaosOne(opt, plan, seed, rec)
-		if err != nil {
-			return fmt.Errorf("chaos plan %q seed %d recovery %t: %w", plan.Name, seed, rec, err)
-		}
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	for _, r := range rows {
 		dagok := "ok"
 		if r.DAGFailed {
@@ -116,7 +109,6 @@ func Chaos(opt Options) ([]ChaosRow, error) {
 			r.NodeRetries, r.Evictions, r.RuntimeH, r.GoodputJPM, r.WastedCPUH)
 	}
 	printChaosDeltas(w, rows)
-	return rows, nil
 }
 
 // printChaosDeltas summarizes recovery-on minus recovery-off per
@@ -200,30 +192,31 @@ func ChaosImprovedOrTied(rows []ChaosRow) (improved, total int) {
 }
 
 // chaosOne simulates one (plan, seed, recovery) cell and checks its
-// invariants. The recovery-off arm builds env → workflow → injector
-// exactly as the pre-recovery sweep did; the recovery-on arm creates
-// the policy last, so the injector's RNG stream is unchanged between
-// arms.
-func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, error) {
+// invariants, returning the row and the cell's final sim-clock reading
+// (campaign-manifest provenance). The recovery-off arm builds env →
+// workflow → injector exactly as the pre-recovery sweep did; the
+// recovery-on arm creates the policy last, so the injector's RNG
+// stream is unchanged between arms.
+func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, sim.Time, error) {
 	var row ChaosRow
 	env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 	if err != nil {
-		return row, err
+		return row, 0, err
 	}
 	wf, err := core.NewWorkflow(chaosWorkflowConfig(opt, plan.Name, seed), env.Kernel, env.Pool, nil)
 	if err != nil {
-		return row, err
+		return row, 0, err
 	}
 	inj, err := faults.New(env.Kernel, plan)
 	if err != nil {
-		return row, err
+		return row, 0, err
 	}
 	inj.SetObs(opt.Obs)
 	inj.Attach(env.Pool, wf.Schedd)
 	if rec {
 		pol, err := recovery.New(env.Kernel, chaosRecoveryConfig(opt))
 		if err != nil {
-			return row, err
+			return row, 0, err
 		}
 		pol.SetObs(opt.Obs)
 		pol.Attach(env.Pool, wf.Schedd)
@@ -234,7 +227,7 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, e
 	// retries still terminates — that is the recovery contract under
 	// test.
 	if err := core.RunBatch(env, []*core.Workflow{wf}, opt.Horizon); err != nil {
-		return row, fmt.Errorf("termination invariant: %w", err)
+		return row, 0, fmt.Errorf("termination invariant: %w", err)
 	}
 
 	var ok, failed, removed int
@@ -247,12 +240,12 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, e
 		case j.Status == htcondor.Removed:
 			removed++
 		default:
-			return row, fmt.Errorf("conservation invariant: job %s ended in state %v", j.ID(), j.Status)
+			return row, 0, fmt.Errorf("conservation invariant: job %s ended in state %v", j.ID(), j.Status)
 		}
 	}
 	submitted := len(wf.Schedd.AllJobs())
 	if submitted != ok+failed+removed {
-		return row, fmt.Errorf("conservation invariant: submitted %d != ok %d + failed %d + removed %d",
+		return row, 0, fmt.Errorf("conservation invariant: submitted %d != ok %d + failed %d + removed %d",
 			submitted, ok, failed, removed)
 	}
 
@@ -276,9 +269,9 @@ func chaosOne(opt Options, plan faults.Plan, seed uint64, rec bool) (ChaosRow, e
 		row.GoodputJPM = float64(ok) / mins
 	}
 	if !row.DAGDone {
-		return row, fmt.Errorf("termination invariant: executor not done after RunBatch")
+		return row, 0, fmt.Errorf("termination invariant: executor not done after RunBatch")
 	}
-	return row, nil
+	return row, env.Kernel.Now(), nil
 }
 
 // WriteChaosCSV writes the chaos-matrix rows.

@@ -15,7 +15,6 @@ import (
 	"fdw/internal/ospool"
 	"fdw/internal/recovery"
 	"fdw/internal/sim"
-	"fdw/internal/stats"
 )
 
 // Options configures an experiment run.
@@ -111,21 +110,28 @@ func (o Options) scaleN(n int) int {
 // runOne executes a single FDW workflow and returns (runtime hours,
 // throughput JPM, completed jobs).
 func runOne(opt Options, cfg core.Config, seed uint64) (float64, float64, int, error) {
+	rt, jpm, jobs, _, err := runOneCell(opt, cfg, seed)
+	return rt, jpm, jobs, err
+}
+
+// runOneCell is runOne plus the simulation's final kernel clock — the
+// sim-clock provenance a campaign manifest records per cell.
+func runOneCell(opt Options, cfg core.Config, seed uint64) (float64, float64, int, sim.Time, error) {
 	env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	w, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if err := attachRecovery(opt, env, w); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if err := core.RunBatch(env, []*core.Workflow{w}, opt.Horizon); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
-	return w.RuntimeHours(), w.ThroughputJPM(), w.Schedd.Completed(), nil
+	return w.RuntimeHours(), w.ThroughputJPM(), w.Schedd.Completed(), env.Kernel.Now(), nil
 }
 
 // Fig2Row is one point of Fig. 2: a (station list, quantity) cell with
@@ -148,75 +154,15 @@ type Fig2Row struct {
 var Fig2Quantities = []int{1024, 2000, 5120, 10000, 24960, 50000}
 
 // Fig2 reruns §4.1/§5.1: increasing quantities × {2, 121} stations.
+// The sweep is a shardable campaign (campaign.go): this entry point
+// runs every cell locally; fdwexp -shard runs the same cells
+// partitioned across manifests and -merge re-finalizes identically.
 func Fig2(opt Options) ([]Fig2Row, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Fig. 2 — increasing earthquake simulation quantities (scale %.2f, %d reps)\n", opt.Scale, len(opt.Seeds))
-	fmt.Fprintf(w, "%8s %9s %7s | %21s | %18s\n", "stations", "waveforms", "jobs", "avg runtime h (sd)", "avg JPM (sd)")
-
-	// Flatten the sweep into (cell, seed) tasks and fan them out; rows
-	// are aggregated and printed in sweep order afterwards.
-	type cell struct {
-		stations, n int
-	}
-	var cells []cell
-	for _, stations := range []int{2, 121} {
-		for _, q := range Fig2Quantities {
-			cells = append(cells, cell{stations, opt.scaleN(q)})
-		}
-	}
-	reps := len(opt.Seeds)
-	type result struct {
-		rt, jpm float64
-		jobs    int
-	}
-	results := make([]result, len(cells)*reps)
-	err := forEachIndex(opt.workers(), len(results), func(i int) error {
-		c, seed := cells[i/reps], opt.Seeds[i%reps]
-		cfg := core.DefaultConfig()
-		cfg.Name = fmt.Sprintf("fig2-s%d-q%d", c.stations, c.n)
-		cfg.Stations = c.stations
-		cfg.Waveforms = c.n
-		cfg.Seed = seed
-		rt, jpm, done, err := runOne(opt, cfg, seed)
-		if err != nil {
-			return fmt.Errorf("fig2 %d×%d: %w", c.stations, c.n, err)
-		}
-		results[i] = result{rt, jpm, done}
-		return nil
-	})
+	rows, err := runCampaign(fig2Campaign(), opt)
 	if err != nil {
 		return nil, err
 	}
-
-	var rows []Fig2Row
-	for ci, c := range cells {
-		var rts, jpms, jobs []float64
-		for r := 0; r < reps; r++ {
-			res := results[ci*reps+r]
-			rts = append(rts, res.rt)
-			jpms = append(jpms, res.jpm)
-			jobs = append(jobs, float64(res.jobs))
-		}
-		row := Fig2Row{
-			Stations:      c.stations,
-			Waveforms:     c.n,
-			Jobs:          int(stats.Mean(jobs)),
-			RuntimeH:      stats.AvgTotalRuntime(rts),
-			RuntimeSD:     stats.SD(rts),
-			RuntimeMin:    stats.Min(rts),
-			RuntimeMax:    stats.Max(rts),
-			ThroughputJPM: stats.Mean(jpms),
-			ThroughputSD:  stats.SD(jpms),
-		}
-		rows = append(rows, row)
-		fmt.Fprintf(w, "%8d %9d %7d | %10.2f (%6.2f) | %10.2f (%5.2f)\n",
-			row.Stations, row.Waveforms, row.Jobs,
-			row.RuntimeH, row.RuntimeSD, row.ThroughputJPM, row.ThroughputSD)
-	}
-	return rows, nil
+	return rows.([]Fig2Row), nil
 }
 
 // Fig3Row is one concurrency level of Fig. 3 — formulas (3) and (4).
@@ -239,84 +185,15 @@ var Fig3Concurrency = []int{1, 2, 4, 8}
 const Fig3Total = 16000
 
 // Fig3 reruns §4.2/§5.2: N concurrent DAGMans jointly producing 16,000
-// waveforms with the full Chilean input, all under one OSG user.
+// waveforms with the full Chilean input, all under one OSG user. One
+// campaign cell per (concurrency level, seed); each cell simulates its
+// whole batch in a private Env, and finalize stitches measurements back
+// in (level, seed, DAGMan) order so floating-point aggregation sums in
+// exactly the serial order.
 func Fig3(opt Options) ([]Fig3Row, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	w := opt.out()
-	total := opt.scaleN(Fig3Total)
-	fmt.Fprintf(w, "Fig. 3 — concurrent HTCondor DAGMans jointly making %d waveforms (%d reps)\n", total, len(opt.Seeds))
-	fmt.Fprintf(w, "%7s %9s | %21s | %12s | %10s\n", "dagmans", "wf each", "avg runtime h (sd)", "avg JPM", "makespan h")
-
-	// One task per (concurrency level, seed); each task simulates its
-	// whole batch in a private Env. Per-task measurements are stitched
-	// back together in (level, seed, DAGMan) order so the floating-point
-	// aggregation below sums in exactly the serial order.
-	reps := len(opt.Seeds)
-	type batchResult struct {
-		rts, jpms []float64
-		makespan  float64
-	}
-	results := make([]batchResult, len(Fig3Concurrency)*reps)
-	err := forEachIndex(opt.workers(), len(results), func(t int) error {
-		n, seed := Fig3Concurrency[t/reps], opt.Seeds[t%reps]
-		each := total / n
-		env, err := core.NewEnvObs(seed, opt.Pool, opt.Obs)
-		if err != nil {
-			return err
-		}
-		var wfs []*core.Workflow
-		for i := 0; i < n; i++ {
-			cfg := core.DefaultConfig()
-			cfg.Name = fmt.Sprintf("fig3-n%d-d%d", n, i)
-			cfg.Waveforms = each
-			cfg.Seed = seed*1000 + uint64(i)
-			wf, err := core.NewWorkflow(cfg, env.Kernel, env.Pool, nil)
-			if err != nil {
-				return err
-			}
-			wfs = append(wfs, wf)
-		}
-		if err := core.RunBatch(env, wfs, opt.Horizon); err != nil {
-			return fmt.Errorf("fig3 n=%d: %w", n, err)
-		}
-		res := &results[t]
-		for _, wf := range wfs {
-			res.rts = append(res.rts, wf.RuntimeHours())
-			res.jpms = append(res.jpms, wf.ThroughputJPM())
-		}
-		res.makespan = float64(env.Kernel.Now()) / 3600
-		return nil
-	})
+	rows, err := runCampaign(fig3Campaign(), opt)
 	if err != nil {
 		return nil, err
 	}
-
-	var rows []Fig3Row
-	for li, n := range Fig3Concurrency {
-		each := total / n
-		var rts, jpms, makespans []float64
-		for r := 0; r < reps; r++ {
-			res := results[li*reps+r]
-			rts = append(rts, res.rts...)
-			jpms = append(jpms, res.jpms...)
-			makespans = append(makespans, res.makespan)
-		}
-		row := Fig3Row{
-			DAGMans:       n,
-			WaveformsEach: each,
-			RuntimeH:      stats.AvgRuntimeAcrossDAGMans(rts),
-			RuntimeSD:     stats.SD(rts),
-			RuntimeMin:    stats.Min(rts),
-			RuntimeMax:    stats.Max(rts),
-			ThroughputJPM: stats.Mean(jpms),
-			MakespanH:     stats.Mean(makespans),
-		}
-		rows = append(rows, row)
-		fmt.Fprintf(w, "%7d %9d | %10.2f (%6.2f) | %12.2f | %10.2f\n",
-			row.DAGMans, row.WaveformsEach, row.RuntimeH, row.RuntimeSD,
-			row.ThroughputJPM, row.MakespanH)
-	}
-	return rows, nil
+	return rows.([]Fig3Row), nil
 }

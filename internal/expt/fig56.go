@@ -76,84 +76,44 @@ func MakeBatchTraces(opt Options) (batches []wtrace.BatchRecord, jobs [][]wtrace
 
 // Fig5 reruns §4.3/§5.3.1–5.3.2: the probe-time × queue-time sweep
 // over two batches with no bursting cap, with the pure-OSG control
-// first for each batch.
+// first for each batch. The sweep is a shardable campaign
+// (campaign.go); each shard regenerates the batch traces locally.
 func Fig5(opt Options) ([]Fig5Cell, error) {
-	batches, jobs, err := MakeBatchTraces(opt)
+	cells, err := runCampaign(fig5Campaign("fig5", 1.0, "Fig. 5"), opt)
 	if err != nil {
 		return nil, err
 	}
-	return Fig5FromTraces(opt, batches, jobs, 1.0, "Fig. 5")
+	return cells.([]Fig5Cell), nil
 }
 
 // Fig6 reruns §5.3.3–5.3.4: the same sweep with the paper's 30%
 // bursted-job cap, whose cost and runtime columns Fig. 6 plots.
 func Fig6(opt Options) ([]Fig5Cell, error) {
-	batches, jobs, err := MakeBatchTraces(opt)
+	cells, err := runCampaign(fig5Campaign("fig6", burst.DefaultMaxBurstFraction, "Fig. 6"), opt)
 	if err != nil {
 		return nil, err
 	}
-	return Fig5FromTraces(opt, batches, jobs, burst.DefaultMaxBurstFraction, "Fig. 6")
+	return cells.([]Fig5Cell), nil
 }
 
 // Fig5FromTraces runs the sweep over previously generated traces with
-// the given bursting cap.
+// the given bursting cap: every (batch, policy) cell in print order,
+// replayed concurrently (Simulate only reads the traces), then printed.
 func Fig5FromTraces(opt Options, batches []wtrace.BatchRecord, jobs [][]wtrace.JobRecord, maxBurstFraction float64, label string) ([]Fig5Cell, error) {
-	w := opt.out()
-	fmt.Fprintf(w, "%s — VDC bursting sweep (threshold %d JPM, probes %v s, queue caps %v min, burst cap %.0f%%)\n",
-		label, Fig5Threshold, Fig5ProbeTimes, Fig5QueueTimesMin, maxBurstFraction*100)
-	fmt.Fprintf(w, "%8s %7s %7s | %8s %8s %8s | %7s %9s %9s\n",
-		"batch", "probe s", "queue m", "AIT jpm", "max jpm", "VDC %", "burst %", "runtime h", "cost $")
-	// Enumerate every (batch, policy) cell in print order, replay the
-	// traces concurrently (Simulate only reads them), then print.
-	type spec struct {
-		bi            int
-		probe, queueM float64
-		control       bool
-	}
-	var specs []spec
-	for bi := range batches {
-		specs = append(specs, spec{bi: bi, control: true})
-		for _, queueM := range Fig5QueueTimesMin {
-			for _, probe := range Fig5ProbeTimes {
-				specs = append(specs, spec{bi: bi, probe: probe, queueM: queueM})
-			}
-		}
-	}
+	specs := fig5SpecsFor(len(batches))
 	cells := make([]Fig5Cell, len(specs))
 	err := forEachIndex(opt.workers(), len(specs), func(i int) error {
-		s := specs[i]
-		batch := batches[s.bi]
-		cfg := burst.DefaultConfig()
-		cfg.Obs = opt.Obs
-		cfg.MaxBurstFraction = maxBurstFraction
-		if !s.control {
-			cfg.P1 = &burst.Policy1{ProbeSecs: s.probe, ThresholdJPM: Fig5Threshold}
-			cfg.P2 = &burst.Policy2{MaxQueueSecs: s.queueM * 60}
-		}
-		res, err := burst.Simulate(batch, jobs[s.bi], cfg)
+		cell, _, err := runFig5Spec(opt, batches, jobs, specs[i], maxBurstFraction)
 		if err != nil {
-			if s.control {
-				return fmt.Errorf("control %s: %w", batch.Name, err)
-			}
-			return fmt.Errorf("%s probe %v queue %v: %w", batch.Name, s.probe, s.queueM, err)
+			return err
 		}
-		cells[i] = cellFrom(batch.Name, s.probe, s.queueM, res)
-		cells[i].Control = s.control
+		cells[i] = cell
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, cell := range cells {
-		if cell.Control {
-			fmt.Fprintf(w, "%8s %7s %7s | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
-				cell.Batch, "ctl", "-", cell.AvgJPM, cell.MaxJPM, cell.VDCPct, cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
-			continue
-		}
-		fmt.Fprintf(w, "%8s %7.0f %7.0f | %8.2f %8.2f %8.1f | %7.1f %9.2f %9.2f\n",
-			cell.Batch, cell.ProbeSecs, cell.MaxQueueM, cell.AvgJPM, cell.MaxJPM, cell.VDCPct,
-			cell.BurstedPct, cell.RuntimeH, cell.CostUSD)
-	}
+	printFig5Cells(opt.out(), label, maxBurstFraction, cells)
 	return cells, nil
 }
 

@@ -1,0 +1,249 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fdw/internal/dagman"
+	"fdw/internal/obs"
+	"fdw/internal/recovery"
+	"fdw/internal/sim"
+)
+
+// A CampaignManifest is one shard's output bundle: which cells of a
+// campaign the shard owns, which are done, their JSON-encoded results
+// with integrity digests, sim-clock provenance, and an optional
+// embedded metrics snapshot. It reuses the dagman rescue manifest as
+// its completion ledger — checkpoint/resume of a sharded campaign is
+// the same mechanism as a DAG-level rescue, one layer up.
+//
+// Manifests are written as compact JSON: cell results are
+// json.RawMessage payloads whose bytes must survive re-encoding
+// unchanged for the digests to stay valid, and Go's encoder passes
+// compact RawMessage bytes through verbatim.
+type CampaignManifest struct {
+	// Format is the manifest schema version (CampaignManifestFormat).
+	Format int `json:"format"`
+	// Campaign names the sharded experiment (fig2, fig3, fig5, fig6,
+	// chaos).
+	Campaign string `json:"campaign"`
+	// Shard is this bundle's slot in the partition.
+	Shard ShardSpec `json:"shard"`
+	// Fingerprint pins the Options the shard ran under; a merge or
+	// resume with different options must fail loudly rather than mix
+	// incompatible results.
+	Fingerprint string `json:"fingerprint"`
+	// Ledger is the cell-completion record: one dagman manifest node
+	// per owned cell, in canonical cell order.
+	Ledger dagman.Manifest `json:"ledger"`
+	// Cells holds the completed cells' results, in canonical order.
+	Cells []CellRecord `json:"cells"`
+	// SimMax is the largest per-cell final sim-clock reading — the
+	// shard's simulated-time provenance.
+	SimMax sim.Time `json:"sim_max"`
+	// Metrics is the shard's obs snapshot rollup, when metrics were on.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ShardSpec identifies shard Index of Total (1-based, like -shard 2/4).
+type ShardSpec struct {
+	Index int `json:"index"`
+	Total int `json:"total"`
+}
+
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Total) }
+
+func (s ShardSpec) validate() error {
+	if s.Total < 1 || s.Index < 1 || s.Index > s.Total {
+		return fmt.Errorf("expt: shard %d/%d out of range", s.Index, s.Total)
+	}
+	return nil
+}
+
+// CellRecord is one completed cell's stored result.
+type CellRecord struct {
+	ID string `json:"id"`
+	// Result is the cell result exactly as json.Marshal produced it;
+	// Digest is the FNV-1a64 of those bytes.
+	Result json.RawMessage `json:"result"`
+	Digest string          `json:"digest"`
+	// SimEnd is the cell simulation's final kernel clock.
+	SimEnd sim.Time `json:"sim_end"`
+}
+
+// CampaignManifestFormat is the current campaign-manifest schema
+// version.
+const CampaignManifestFormat = 1
+
+// shardOf deterministically assigns a cell to a 1-based shard index:
+// FNV-1a64 over "campaign/cellID", reduced mod Total. The hash depends
+// only on the identity strings — never on worker count, enumeration
+// order, or process — so every shard of a partition computes the same
+// assignment independently.
+func shardOf(campaign, cellID string, total int) int {
+	h := fnv.New64a()
+	h.Write([]byte(campaign))
+	h.Write([]byte{'/'})
+	h.Write([]byte(cellID))
+	return int(h.Sum64()%uint64(total)) + 1
+}
+
+// ShardCells partitions a campaign's canonical cell list, returning
+// the ids owned by shard index/total in canonical order.
+func ShardCells(campaign string, ids []string, index, total int) []string {
+	var owned []string
+	for _, id := range ids {
+		if shardOf(campaign, id, total) == index {
+			owned = append(owned, id)
+		}
+	}
+	return owned
+}
+
+// cellDigest is the integrity digest of a stored result payload.
+func cellDigest(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint condenses every result-affecting Options field (plus the
+// campaign name) into a hash. Workers, Out, and Obs are excluded: they
+// change neither cell results nor final bytes.
+func (o Options) Fingerprint(campaign string) (string, error) {
+	canon := struct {
+		Campaign string           `json:"campaign"`
+		Scale    float64          `json:"scale"`
+		Seeds    []uint64         `json:"seeds"`
+		Horizon  sim.Time         `json:"horizon"`
+		Pool     any              `json:"pool"`
+		Recovery *recovery.Config `json:"recovery"`
+	}{campaign, o.Scale, o.Seeds, o.Horizon, o.Pool, o.Recovery}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("expt: fingerprint: %w", err)
+	}
+	return cellDigest(b), nil
+}
+
+// Write renders the manifest as compact JSON.
+func (m *CampaignManifest) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile atomically replaces path with the manifest (temp file +
+// rename), so a kill mid-checkpoint leaves the previous complete
+// manifest in place rather than a truncated one.
+func (m *CampaignManifest) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCampaignManifest parses and validates a manifest written by
+// Write.
+func ReadCampaignManifest(r io.Reader) (*CampaignManifest, error) {
+	var m CampaignManifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("expt: bad campaign manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReadCampaignManifestFile reads one manifest bundle from disk.
+func ReadCampaignManifestFile(path string) (*CampaignManifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadCampaignManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's internal invariants: schema version,
+// shard spec, ledger well-formedness, ledger/cell agreement (exactly
+// the done ledger nodes carry results, in the same order), shard
+// ownership of every cell, and per-cell digest integrity.
+func (m *CampaignManifest) Validate() error {
+	if m.Format != CampaignManifestFormat {
+		return fmt.Errorf("expt: campaign manifest format %d, want %d", m.Format, CampaignManifestFormat)
+	}
+	if m.Campaign == "" {
+		return fmt.Errorf("expt: campaign manifest has no campaign name")
+	}
+	if err := m.Shard.validate(); err != nil {
+		return err
+	}
+	if m.Fingerprint == "" {
+		return fmt.Errorf("expt: campaign manifest has no options fingerprint")
+	}
+	if err := m.Ledger.Validate(); err != nil {
+		return err
+	}
+	var done []string
+	for _, n := range m.Ledger.Nodes {
+		if shardOf(m.Campaign, n.Name, m.Shard.Total) != m.Shard.Index {
+			return fmt.Errorf("expt: cell %q does not belong to shard %s of %s", n.Name, m.Shard, m.Campaign)
+		}
+		if n.Done {
+			done = append(done, n.Name)
+		}
+	}
+	if len(done) != len(m.Cells) {
+		return fmt.Errorf("expt: ledger marks %d cells done but %d results stored", len(done), len(m.Cells))
+	}
+	for i, c := range m.Cells {
+		if c.ID != done[i] {
+			return fmt.Errorf("expt: cell result %d is %q, ledger order says %q", i, c.ID, done[i])
+		}
+		if got := cellDigest(c.Result); got != c.Digest {
+			return fmt.Errorf("expt: cell %q result digest %s does not match stored %s (corrupt manifest?)", c.ID, got, c.Digest)
+		}
+	}
+	return nil
+}
+
+// Complete reports whether every owned cell is done.
+func (m *CampaignManifest) Complete() bool {
+	return m.Ledger.DoneCount() == len(m.Ledger.Nodes)
+}
+
+// result returns the stored payload for a cell id, if present.
+func (m *CampaignManifest) result(id string) (CellRecord, bool) {
+	for _, c := range m.Cells {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return CellRecord{}, false
+}

@@ -1,0 +1,324 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"fdw/internal/dagman"
+	"fdw/internal/obs"
+)
+
+// The distributed campaign runner: fdwexp -shard i/N partitions a
+// campaign's cells across N independent invocations by a stable hash
+// of cell identity, each shard checkpointing a CampaignManifest after
+// every completed cell; fdwexp -merge stitches the manifests back into
+// the byte-identical unsharded report. The cell list, the shard
+// assignment, and the checkpoint todo order are all derived from
+// identity strings, never from worker count or map order, so the
+// partition is reproducible on any machine.
+
+// ErrIncomplete marks a shard run that stopped before finishing every
+// owned cell (the -cells budget); the manifest on disk is valid and a
+// -resume run will pick up the remaining cells. fdwexp exits 3 on it.
+var ErrIncomplete = errors.New("expt: shard incomplete (resume to finish)")
+
+// ShardRun configures one RunShard invocation.
+type ShardRun struct {
+	// Campaign is the campaign name (see ShardableCampaigns).
+	Campaign string
+	// Index/Total place this run in the partition (1-based).
+	Index, Total int
+	// Path is the manifest file this run checkpoints to.
+	Path string
+	// MaxCells, when positive, stops the run after that many cells —
+	// the deterministic model of a mid-campaign kill (the todo list is
+	// truncated in canonical order before any cell runs).
+	MaxCells int
+	// Resume loads Path and re-executes only cells its ledger does not
+	// mark done. Without Resume an existing manifest is overwritten.
+	Resume bool
+}
+
+// RunShard executes the cells of opt's campaign owned by shard
+// Index/Total, checkpointing the manifest to Path after every
+// completed cell (atomic rewrite, so a kill leaves the last good
+// checkpoint). It returns the final manifest; the error is
+// ErrIncomplete when a MaxCells budget stopped the run early.
+func RunShard(opt Options, run ShardRun) (*CampaignManifest, error) {
+	c, err := campaignByName(run.Campaign)
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	spec := ShardSpec{Index: run.Index, Total: run.Total}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	ids, err := c.cells(opt)
+	if err != nil {
+		return nil, err
+	}
+	owned := ShardCells(c.name, ids, run.Index, run.Total)
+	fp, err := opt.Fingerprint(c.name)
+	if err != nil {
+		return nil, err
+	}
+
+	// The completion ledger rides on the dagman rescue machinery: one
+	// flat DAG node per owned cell, resume = ApplyManifest.
+	dagName := fmt.Sprintf("%s-shard%s", c.name, spec)
+	d := dagman.NewDAG()
+	for _, id := range owned {
+		if err := d.AddNode(&dagman.Node{Name: id, SubmitFile: id}); err != nil {
+			return nil, err
+		}
+	}
+
+	stored := map[string]CellRecord{}
+	var prior *obs.Snapshot
+	if run.Resume {
+		old, err := ReadCampaignManifestFile(run.Path)
+		if err != nil {
+			return nil, fmt.Errorf("expt: resume: %w", err)
+		}
+		if old.Campaign != c.name || old.Shard != spec {
+			return nil, fmt.Errorf("expt: resume: manifest is %s shard %s, want %s shard %s",
+				old.Campaign, old.Shard, c.name, spec)
+		}
+		if old.Fingerprint != fp {
+			return nil, fmt.Errorf("expt: resume: manifest fingerprint %s does not match options fingerprint %s",
+				old.Fingerprint, fp)
+		}
+		if err := d.ApplyManifest(old.Ledger); err != nil {
+			return nil, fmt.Errorf("expt: resume: %w", err)
+		}
+		for _, rec := range old.Cells {
+			stored[rec.ID] = rec
+		}
+		prior = old.Metrics
+	}
+
+	var todo []string
+	for _, id := range owned {
+		if !d.Nodes[id].Done {
+			todo = append(todo, id)
+		}
+	}
+	incomplete := false
+	if run.MaxCells > 0 && len(todo) > run.MaxCells {
+		todo = todo[:run.MaxCells]
+		incomplete = true
+	}
+
+	// snapshot assembles the manifest from current state; checkpoint
+	// serializes concurrent cell completions and atomically rewrites
+	// Path. Cells appear in canonical owned order regardless of
+	// completion order.
+	var mu sync.Mutex
+	snapshot := func() *CampaignManifest {
+		m := &CampaignManifest{
+			Format:      CampaignManifestFormat,
+			Campaign:    c.name,
+			Shard:       spec,
+			Fingerprint: fp,
+			Ledger:      dagman.Manifest{Format: dagman.ManifestFormat, DAG: dagName},
+		}
+		for _, id := range owned {
+			rec, done := stored[id]
+			m.Ledger.Nodes = append(m.Ledger.Nodes, dagman.ManifestNode{Name: id, Done: done})
+			if done {
+				m.Cells = append(m.Cells, rec)
+				if rec.SimEnd > m.SimMax {
+					m.SimMax = rec.SimEnd
+				}
+			}
+		}
+		if opt.Obs != nil {
+			m.Metrics = obs.MergeSnapshots(prior, opt.Obs.Snapshot())
+		} else {
+			m.Metrics = prior
+		}
+		return m
+	}
+	checkpoint := func(rec CellRecord) error {
+		mu.Lock()
+		defer mu.Unlock()
+		stored[rec.ID] = rec
+		return snapshot().WriteFile(run.Path)
+	}
+
+	// Index cells once so shard workers address them by canonical
+	// position; the campaign ctx is shared so fig5/fig6 traces build
+	// once per process.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	ctx := &campaignCtx{}
+	err = forEachIndex(opt.workers(), len(todo), func(i int) error {
+		id := todo[i]
+		result, end, err := c.run(opt, ctx, pos[id])
+		if err != nil {
+			return err
+		}
+		raw, err := marshalCell(result)
+		if err != nil {
+			return fmt.Errorf("expt: cell %q: %w", id, err)
+		}
+		return checkpoint(CellRecord{ID: id, Result: raw, Digest: cellDigest(raw), SimEnd: end})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// A shard with nothing left to run (all resumed, or owning zero
+	// cells) still writes its manifest so merge has a complete bundle.
+	mu.Lock()
+	final := snapshot()
+	err = final.WriteFile(run.Path)
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if incomplete {
+		return final, fmt.Errorf("%w: %d of %d cells done (shard %s of %s)",
+			ErrIncomplete, final.Ledger.DoneCount(), len(owned), spec, c.name)
+	}
+	return final, nil
+}
+
+// MergeResult is a verified, finalized sharded campaign.
+type MergeResult struct {
+	Campaign string
+	// CSVName is the conventional CSV file name for this campaign.
+	CSVName string
+	// Rows is the finalize output, same dynamic type as the unsharded
+	// entry point returns ([]Fig2Row, []Fig5Cell, ...).
+	Rows any
+	// Metrics is the cross-shard rollup, nil when no shard embedded a
+	// snapshot.
+	Metrics *obs.Snapshot
+	c       *campaign
+}
+
+// WriteCSV renders the merged rows as the campaign's CSV.
+func (r *MergeResult) WriteCSV(w io.Writer) error { return r.c.writeCSV(w, r.Rows) }
+
+// MergeManifests verifies a set of shard manifests covers opt's
+// campaign exactly — same campaign, same fingerprint, same partition
+// width, every shard complete, every cell present with an intact
+// digest — then decodes the stored results in canonical cell order and
+// finalizes, printing the report to opt.Out. Finalize is the same code
+// the unsharded run uses on in-memory results, and Go's JSON float
+// round-trip is exact, so the printed report and CSV are byte-identical
+// to an unsharded run.
+func MergeManifests(opt Options, manifests []*CampaignManifest) (*MergeResult, error) {
+	if len(manifests) == 0 {
+		return nil, fmt.Errorf("expt: merge: no manifests")
+	}
+	name := manifests[0].Campaign
+	c, err := campaignByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	fp, err := opt.Fingerprint(name)
+	if err != nil {
+		return nil, err
+	}
+	total := manifests[0].Shard.Total
+	byIndex := map[int]*CampaignManifest{}
+	for _, m := range manifests {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if m.Campaign != name {
+			return nil, fmt.Errorf("expt: merge: mixed campaigns %s and %s", name, m.Campaign)
+		}
+		if m.Shard.Total != total {
+			return nil, fmt.Errorf("expt: merge: mixed partitions /%d and /%d", total, m.Shard.Total)
+		}
+		if m.Fingerprint != fp {
+			return nil, fmt.Errorf("expt: merge: shard %s fingerprint %s does not match options fingerprint %s",
+				m.Shard, m.Fingerprint, fp)
+		}
+		if dup, ok := byIndex[m.Shard.Index]; ok && dup != m {
+			return nil, fmt.Errorf("expt: merge: shard %s supplied twice", m.Shard)
+		}
+		if !m.Complete() {
+			return nil, fmt.Errorf("%w: shard %s has %d of %d cells (resume it before merging)",
+				ErrIncomplete, m.Shard, m.Ledger.DoneCount(), len(m.Ledger.Nodes))
+		}
+		byIndex[m.Shard.Index] = m
+	}
+
+	ids, err := c.cells(opt)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]any, len(ids))
+	var snaps []*obs.Snapshot
+	for _, m := range manifests {
+		snaps = append(snaps, m.Metrics)
+	}
+	for i, id := range ids {
+		owner := shardOf(name, id, total)
+		m, ok := byIndex[owner]
+		if !ok {
+			return nil, fmt.Errorf("expt: merge: cell %q belongs to shard %d/%d, which was not supplied", id, owner, total)
+		}
+		rec, ok := m.result(id)
+		if !ok {
+			return nil, fmt.Errorf("expt: merge: shard %s is missing cell %q", m.Shard, id)
+		}
+		v, err := c.decode(rec.Result)
+		if err != nil {
+			return nil, fmt.Errorf("expt: merge: cell %q: %w", id, err)
+		}
+		results[i] = v
+	}
+
+	rows, err := c.finalize(opt, results)
+	if err != nil {
+		return nil, err
+	}
+	res := &MergeResult{Campaign: name, CSVName: c.csvName, Rows: rows, c: c}
+	merged := obs.MergeSnapshots(snaps...)
+	for _, s := range snaps {
+		if s != nil {
+			res.Metrics = merged
+			break
+		}
+	}
+	return res, nil
+}
+
+// MergeManifestFiles is MergeManifests over manifest bundle paths.
+func MergeManifestFiles(opt Options, paths []string) (*MergeResult, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("expt: merge: no manifest files")
+	}
+	manifests := make([]*CampaignManifest, len(paths))
+	for i, p := range paths {
+		m, err := ReadCampaignManifestFile(p)
+		if err != nil {
+			return nil, err
+		}
+		manifests[i] = m
+	}
+	return MergeManifests(opt, manifests)
+}
+
+// marshalCell encodes one cell result for manifest storage — always
+// compact json.Marshal bytes, the form digests are computed over and
+// the form Go's encoder passes through RawMessage unchanged.
+func marshalCell(v any) (json.RawMessage, error) {
+	return json.Marshal(v)
+}

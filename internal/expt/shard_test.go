@@ -1,0 +1,352 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdw/internal/obs"
+)
+
+// shardTestOptions is the sweep configuration every shard test uses:
+// tiny scale, one seed, so a full campaign is a handful of cells.
+func shardTestOptions() Options {
+	opt := DefaultOptions()
+	opt.Scale = 0.002
+	opt.Seeds = []uint64{11}
+	return opt
+}
+
+// runUnsharded produces the reference bytes: the campaign's printed
+// report and CSV from a plain in-process run.
+func runUnsharded(t *testing.T, name string, opt Options) (report, csv []byte) {
+	t.Helper()
+	c, err := campaignByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	opt.Out = &rep
+	rows, err := runCampaign(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs bytes.Buffer
+	if err := c.writeCSV(&cs, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Bytes(), cs.Bytes()
+}
+
+// runSharded partitions the campaign N ways, runs every shard to
+// completion, merges, and returns the merged report and CSV bytes.
+func runSharded(t *testing.T, name string, opt Options, total int) (report, csv []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	var paths []string
+	for i := 1; i <= total; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("%s.shard%dof%d.json", name, i, total))
+		if _, err := RunShard(opt, ShardRun{Campaign: name, Index: i, Total: total, Path: p}); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, total, err)
+		}
+		paths = append(paths, p)
+	}
+	var rep bytes.Buffer
+	mopt := opt
+	mopt.Out = &rep
+	res, err := MergeManifestFiles(mopt, paths)
+	if err != nil {
+		t.Fatalf("merge %d-way: %v", total, err)
+	}
+	var cs bytes.Buffer
+	if err := res.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Bytes(), cs.Bytes()
+}
+
+// Sharding is invisible in the output: for every campaign and any
+// partition width, the merged report and CSV are byte-identical to an
+// unsharded run — the tentpole invariant.
+func TestShardMergeByteIdentical(t *testing.T) {
+	for _, name := range []string{"fig2", "fig5", "chaos"} {
+		opt := shardTestOptions()
+		wantRep, wantCSV := runUnsharded(t, name, opt)
+		if len(wantRep) == 0 || len(wantCSV) == 0 {
+			t.Fatalf("%s: empty reference output", name)
+		}
+		for _, total := range []int{1, 2, 4, 7} {
+			gotRep, gotCSV := runSharded(t, name, opt, total)
+			if !bytes.Equal(wantRep, gotRep) {
+				t.Errorf("%s: %d-way merged report differs from unsharded run:\n--- want\n%s\n--- got\n%s",
+					name, total, wantRep, gotRep)
+			}
+			if !bytes.Equal(wantCSV, gotCSV) {
+				t.Errorf("%s: %d-way merged CSV differs from unsharded run", name, total)
+			}
+		}
+	}
+}
+
+// Every cell lands on exactly one shard, and the assignment is a pure
+// function of identity strings.
+func TestShardAssignmentPartitions(t *testing.T) {
+	opt := shardTestOptions()
+	for _, name := range ShardableCampaigns() {
+		c, err := campaignByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := c.cells(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, total := range []int{1, 2, 4, 7} {
+			var union []string
+			for i := 1; i <= total; i++ {
+				owned := ShardCells(name, ids, i, total)
+				for _, id := range owned {
+					if shardOf(name, id, total) != i {
+						t.Fatalf("%s: cell %q listed for shard %d but hashes elsewhere", name, id, i)
+					}
+				}
+				union = append(union, owned...)
+			}
+			if len(union) != len(ids) {
+				t.Fatalf("%s /%d: union has %d cells, want %d", name, total, len(union), len(ids))
+			}
+			seen := map[string]bool{}
+			for _, id := range union {
+				if seen[id] {
+					t.Fatalf("%s /%d: cell %q owned twice", name, total, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// Killing a sharded campaign after k completed cells and resuming
+// converges to the same manifest and merged bytes as an uninterrupted
+// run, for every k — the checkpoint/resume property.
+func TestShardKillResumeConverges(t *testing.T) {
+	const name = "fig2"
+	opt := shardTestOptions()
+	wantRep, wantCSV := runUnsharded(t, name, opt)
+
+	c, err := campaignByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.cells(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2
+	owned := ShardCells(name, ids, 1, total)
+	if len(owned) < 2 {
+		t.Fatalf("shard 1/%d owns %d cells; test needs ≥2", total, len(owned))
+	}
+
+	dir := t.TempDir()
+	// Reference manifests from uninterrupted shard runs.
+	refPaths := make([]string, total)
+	for i := 1; i <= total; i++ {
+		refPaths[i-1] = filepath.Join(dir, fmt.Sprintf("ref%d.json", i))
+		if _, err := RunShard(opt, ShardRun{Campaign: name, Index: i, Total: total, Path: refPaths[i-1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refBytes, err := os.ReadFile(refPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k < len(owned); k++ {
+		p := filepath.Join(dir, fmt.Sprintf("kill%d.json", k))
+		_, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: total, Path: p, MaxCells: k})
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("k=%d: budgeted run returned %v, want ErrIncomplete", k, err)
+		}
+		mid, err := ReadCampaignManifestFile(p)
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint unreadable: %v", k, err)
+		}
+		if got := mid.Ledger.DoneCount(); got != k {
+			t.Fatalf("k=%d: checkpoint marks %d cells done", k, got)
+		}
+		if mid.Complete() {
+			t.Fatalf("k=%d: truncated run claims completeness", k)
+		}
+		// Merging an incomplete shard must refuse with ErrIncomplete.
+		if _, err := MergeManifestFiles(opt, []string{p, refPaths[1]}); !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("k=%d: merge of incomplete shard returned %v, want ErrIncomplete", k, err)
+		}
+
+		if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: total, Path: p, Resume: true}); err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		got, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refBytes) {
+			t.Fatalf("k=%d: resumed manifest differs from uninterrupted manifest", k)
+		}
+		var rep bytes.Buffer
+		mopt := opt
+		mopt.Out = &rep
+		res, err := MergeManifestFiles(mopt, []string{p, refPaths[1]})
+		if err != nil {
+			t.Fatalf("k=%d: merge after resume: %v", k, err)
+		}
+		var cs bytes.Buffer
+		if err := res.WriteCSV(&cs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rep.Bytes(), wantRep) || !bytes.Equal(cs.Bytes(), wantCSV) {
+			t.Fatalf("k=%d: kill-then-resume merge not byte-identical to unsharded run", k)
+		}
+	}
+}
+
+// Corrupted, truncated, or mismatched manifests are rejected rather
+// than silently merged or resumed.
+func TestShardManifestRejection(t *testing.T) {
+	const name = "fig2"
+	opt := shardTestOptions()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "m.json")
+	if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: 2, Path: p}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(b []byte) string {
+		t.Helper()
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return bad
+	}
+
+	// Truncated file (a kill mid-write, had the write not been atomic).
+	if _, err := ReadCampaignManifestFile(write(good[:len(good)/2])); err == nil {
+		t.Error("truncated manifest accepted")
+	}
+	// Flipped result byte breaks the cell digest.
+	corrupt := bytes.Replace(good, []byte(`"runtime_h":`), []byte(`"runtime_h":9`), 1)
+	if bytes.Equal(corrupt, good) {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := ReadCampaignManifestFile(write(corrupt)); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("corrupted result accepted or wrong error: %v", err)
+	}
+	// Foreign cell: a ledger node that does not hash to this shard.
+	foreign := bytes.Replace(good, []byte(`"shard":{"index":1,"total":2}`), []byte(`"shard":{"index":2,"total":2}`), 1)
+	if _, err := ReadCampaignManifestFile(write(foreign)); err == nil {
+		t.Error("manifest with foreign cells accepted")
+	}
+
+	// Resume under different options must refuse (fingerprint pin).
+	other := opt
+	other.Seeds = []uint64{12}
+	if _, err := RunShard(other, ShardRun{Campaign: name, Index: 1, Total: 2, Path: p, Resume: true}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("resume with different options: %v", err)
+	}
+	// Merge under different options likewise.
+	if _, err := MergeManifestFiles(other, []string{p}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("merge with different options: %v", err)
+	}
+	// Merge with a shard missing.
+	if _, err := MergeManifestFiles(opt, []string{p}); err == nil || !strings.Contains(err.Error(), "not supplied") {
+		t.Errorf("merge with missing shard: %v", err)
+	}
+	// Merge with a shard supplied twice.
+	if _, err := MergeManifestFiles(opt, []string{p, p}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("merge with duplicate shard: %v", err)
+	}
+}
+
+// Per-shard metrics snapshots roll up to the unsharded totals: the
+// campaign-level counter sums are exact regardless of partitioning.
+func TestShardMetricsRollup(t *testing.T) {
+	const name = "chaos"
+	opt := shardTestOptions()
+
+	ref := obs.NewRegistry(nil)
+	uopt := opt
+	uopt.Obs = ref
+	c, err := campaignByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCampaign(c, uopt); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{}
+	for _, cs := range ref.Snapshot().Counters {
+		want[mergeKeyForTest(cs.Name, cs.Labels)] += cs.Value
+	}
+
+	dir := t.TempDir()
+	const total = 3
+	var paths []string
+	for i := 1; i <= total; i++ {
+		sopt := opt
+		sopt.Obs = obs.NewRegistry(nil)
+		p := filepath.Join(dir, fmt.Sprintf("m%d.json", i))
+		if _, err := RunShard(sopt, ShardRun{Campaign: name, Index: i, Total: total, Path: p}); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	res, err := MergeManifestFiles(opt, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("merged result has no metrics rollup")
+	}
+	got := map[string]uint64{}
+	for _, cs := range res.Metrics.Counters {
+		got[mergeKeyForTest(cs.Name, cs.Labels)] += cs.Value
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run recorded no counters")
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("counter %q: rollup %d, unsharded %d", k, got[k], w)
+		}
+	}
+}
+
+// mergeKeyForTest mirrors obs's canonical metric key without exporting
+// it: name plus sorted label pairs.
+func mergeKeyForTest(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	out := name
+	for _, k := range keys {
+		out += "|" + k + "=" + labels[k]
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Per-shard metrics rollup: a sharded campaign (internal/expt) runs each
+// shard in its own process with its own registry, and the merge step
+// combines the per-shard JSON snapshots into one campaign-level view.
+// The rollup is an observability artifact, not a determinism contract:
+// counters and histogram mass are exact sums, but gauges keep only the
+// latest sample and histogram quantiles are re-estimated from the
+// merged buckets.
+
+// MergeSnapshots combines snapshots into one rollup:
+//
+//   - counters add per (name, labels);
+//   - gauges keep the sample with the latest At (ties: larger value);
+//   - histograms add Count/Sum/buckets per (name, labels), combine
+//     Min/Max, and re-estimate P50/P90/P99 from the merged cumulative
+//     buckets (bucket-upper-bound estimate, so quantiles are
+//     approximate after a merge);
+//   - spans concatenate, re-sorted by (start, kind, id);
+//   - SimNow is the maximum and SpansDropped the sum.
+//
+// nil snapshots are skipped; the result is deterministically ordered by
+// canonical metric key, so merging the same snapshots always yields the
+// same bytes.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	counters := map[string]*CounterSnap{}
+	gauges := map[string]*GaugeSnap{}
+	hists := map[string]*HistSnap{}
+	var order struct{ counters, gauges, hists []string }
+
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.SimNow > out.SimNow {
+			out.SimNow = s.SimNow
+		}
+		out.SpansDropped += s.SpansDropped
+		out.Spans = append(out.Spans, s.Spans...)
+		for _, c := range s.Counters {
+			k := mergeKey(c.Name, c.Labels)
+			got, ok := counters[k]
+			if !ok {
+				cc := c
+				counters[k] = &cc
+				order.counters = append(order.counters, k)
+				continue
+			}
+			got.Value += c.Value
+			if c.At > got.At {
+				got.At = c.At
+			}
+		}
+		for _, g := range s.Gauges {
+			k := mergeKey(g.Name, g.Labels)
+			got, ok := gauges[k]
+			if !ok {
+				gg := g
+				gauges[k] = &gg
+				order.gauges = append(order.gauges, k)
+				continue
+			}
+			if g.At > got.At || (g.At == got.At && g.Value > got.Value) {
+				got.Value, got.At = g.Value, g.At
+			}
+		}
+		for _, h := range s.Histograms {
+			k := mergeKey(h.Name, h.Labels)
+			got, ok := hists[k]
+			if !ok {
+				hh := h
+				hh.Buckets = append([]BucketSnap(nil), h.Buckets...)
+				hists[k] = &hh
+				order.hists = append(order.hists, k)
+				continue
+			}
+			mergeHist(got, h)
+		}
+	}
+
+	sort.Strings(order.counters)
+	for _, k := range order.counters {
+		out.Counters = append(out.Counters, *counters[k])
+	}
+	sort.Strings(order.gauges)
+	for _, k := range order.gauges {
+		out.Gauges = append(out.Gauges, *gauges[k])
+	}
+	sort.Strings(order.hists)
+	for _, k := range order.hists {
+		h := hists[k]
+		h.P50 = bucketQuantile(h, 0.50)
+		h.P90 = bucketQuantile(h, 0.90)
+		h.P99 = bucketQuantile(h, 0.99)
+		out.Histograms = append(out.Histograms, *h)
+	}
+
+	sort.SliceStable(out.Spans, func(a, b int) bool {
+		if out.Spans[a].Start != out.Spans[b].Start {
+			return out.Spans[a].Start < out.Spans[b].Start
+		}
+		if out.Spans[a].Kind != out.Spans[b].Kind {
+			return out.Spans[a].Kind < out.Spans[b].Kind
+		}
+		return out.Spans[a].ID < out.Spans[b].ID
+	})
+	return out
+}
+
+// mergeKey is the canonical (name, labels) identity: name plus
+// label pairs in sorted-key order.
+func mergeKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := name
+	for _, k := range keys {
+		out += "\x00" + k + "\x01" + labels[k]
+	}
+	return out
+}
+
+// mergeHist folds src into dst: cumulative buckets add per LE bound
+// (bounds come from the same registry code, so they line up; a bound
+// present on one side only keeps its own count plus the other side's
+// cumulative mass below it — exactness only requires identical bound
+// sets, which same-binary shards guarantee).
+func mergeHist(dst *HistSnap, src HistSnap) {
+	if src.Count > 0 && (dst.Count == 0 || src.Min < dst.Min) {
+		dst.Min = src.Min
+	}
+	if src.Count > 0 && (dst.Count == 0 || src.Max > dst.Max) {
+		dst.Max = src.Max
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.At > dst.At {
+		dst.At = src.At
+	}
+	merged := make(map[float64]uint64, len(dst.Buckets)+len(src.Buckets))
+	var bounds []float64
+	for _, b := range dst.Buckets {
+		if _, ok := merged[b.LE]; !ok {
+			bounds = append(bounds, b.LE)
+		}
+		merged[b.LE] += b.Count
+	}
+	for _, b := range src.Buckets {
+		if _, ok := merged[b.LE]; !ok {
+			bounds = append(bounds, b.LE)
+		}
+		merged[b.LE] += b.Count
+	}
+	sort.Float64s(bounds)
+	dst.Buckets = dst.Buckets[:0]
+	for _, le := range bounds {
+		dst.Buckets = append(dst.Buckets, BucketSnap{LE: le, Count: merged[le]})
+	}
+}
+
+// bucketQuantile estimates quantile q from merged cumulative buckets:
+// the upper bound of the first bucket whose cumulative count reaches
+// q·Count, or Max for mass beyond the last finite bucket.
+func bucketQuantile(h *HistSnap, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= target {
+			if b.LE < h.Min {
+				return h.Min
+			}
+			return b.LE
+		}
+	}
+	return h.Max
+}
+
+// WriteSnapshotJSON renders a snapshot in the same indented JSON format
+// as Registry.WriteJSON, so merged rollups and live dumps are
+// interchangeable inputs to ReadSnapshot.
+func WriteSnapshotJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshotsRollsUpShards(t *testing.T) {
+	// Two "shards" of the same campaign: same metric names, disjoint work.
+	a := NewRegistry(nil)
+	a.Counter("cells_total", "campaign", "fig2").Add(3)
+	a.Counter("only_a_total").Inc()
+	a.Gauge("progress", "shard", "1").Set(0.5)
+	a.Histogram("cell_seconds").Observe(1)
+	a.Histogram("cell_seconds").Observe(10)
+
+	b := NewRegistry(nil)
+	b.Counter("cells_total", "campaign", "fig2").Add(4)
+	b.Gauge("progress", "shard", "1").Set(0.9)
+	b.Histogram("cell_seconds").Observe(100)
+
+	m := MergeSnapshots(a.Snapshot(), nil, b.Snapshot())
+
+	counters := map[string]uint64{}
+	for _, c := range m.Counters {
+		counters[mergeKey(c.Name, c.Labels)] = c.Value
+	}
+	if got := counters[mergeKey("cells_total", map[string]string{"campaign": "fig2"})]; got != 7 {
+		t.Fatalf("summed counter = %d, want 7", got)
+	}
+	if got := counters[mergeKey("only_a_total", nil)]; got != 1 {
+		t.Fatalf("one-sided counter = %d, want 1", got)
+	}
+
+	if len(m.Gauges) != 1 {
+		t.Fatalf("%d gauges", len(m.Gauges))
+	}
+
+	if len(m.Histograms) != 1 {
+		t.Fatalf("%d histograms", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Count != 3 || h.Sum != 111 {
+		t.Fatalf("hist count=%d sum=%v", h.Count, h.Sum)
+	}
+	if h.Min != 1 || h.Max != 100 {
+		t.Fatalf("hist min=%v max=%v", h.Min, h.Max)
+	}
+	if h.P99 < h.P50 {
+		t.Fatalf("re-estimated quantiles inverted: p50=%v p99=%v", h.P50, h.P99)
+	}
+	var total uint64
+	for i, bk := range h.Buckets {
+		if i > 0 && bk.Count < h.Buckets[i-1].Count {
+			t.Fatalf("merged buckets not cumulative: %+v", h.Buckets)
+		}
+		total = bk.Count
+	}
+	if total > h.Count {
+		t.Fatalf("bucket mass %d exceeds count %d", total, h.Count)
+	}
+}
+
+func TestMergeSnapshotsDeterministic(t *testing.T) {
+	a := NewRegistry(nil)
+	a.Counter("x_total", "k", "1").Inc()
+	a.Counter("a_total").Inc()
+	b := NewRegistry(nil)
+	b.Counter("x_total", "k", "1").Inc()
+	b.Counter("b_total").Inc()
+
+	m1 := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	m2 := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("merge not deterministic")
+	}
+	// Output is sorted by canonical key regardless of input order.
+	names := []string{}
+	for _, c := range MergeSnapshots(b.Snapshot(), a.Snapshot()).Counters {
+		names = append(names, c.Name)
+	}
+	want := []string{"a_total", "b_total", "x_total"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("counter order %v, want %v", names, want)
+	}
+}
+
+func TestMergeSnapshotJSONRoundTrip(t *testing.T) {
+	a := NewRegistry(nil)
+	a.Counter("x_total").Inc()
+	a.Histogram("h").Observe(2)
+	m := MergeSnapshots(a.Snapshot())
+
+	var buf bytes.Buffer
+	if err := WriteSnapshotJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("snapshot JSON round trip changed data:\n%+v\n%+v", m, back)
+	}
+}

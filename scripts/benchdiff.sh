@@ -13,12 +13,15 @@
 #
 # Environment knobs:
 #
-#	BASELINE   run a single baseline file only (default: all BENCH_*.json)
-#	TOLERANCE  allowed slowdown               (default 2.0)
-#	BENCHTIME  fallback go test -benchtime    (default 2x)
+#	BASELINE    run a single baseline file only (default: all BENCH_*.json)
+#	TOLERANCE   allowed slowdown               (default 2.0)
+#	BENCHTIME   fallback go test -benchtime    (default 2x)
+#	RECORD_DIR  also write this run's numbers as fresh BENCH_*.json
+#	            files under this directory (CI uploads them as
+#	            artifacts so the bench trajectory is inspectable)
 set -eu
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 TOLERANCE=${TOLERANCE:-2.0}
 BENCHTIME=${BENCHTIME:-2x}
@@ -92,6 +95,28 @@ compare() {
 	' "$1" "$2"
 }
 
+# record REGEX BENCHTIME OUTPUT prints a fresh baseline JSON for this
+# run, in the same shape compare() parses.
+record() {
+	awk -v regex="$1" -v bt="$2" '
+		BEGIN {
+			printf "{\n  \"bench_regex\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"ns_per_op\": {", regex, bt
+			n = 0
+		}
+		$1 ~ /^Benchmark/ {
+			ns = -1
+			for (i = 2; i <= NF; i++)
+				if ($i == "ns/op") ns = $(i - 1) + 0
+			if (ns < 0) next
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s\n    \"%s\": %.0f", n ? "," : "", name, ns
+			n++
+		}
+		END { print "\n  }\n}" }
+	' "$3"
+}
+
 baselines=${BASELINE:-$(ls BENCH_*.json 2>/dev/null || true)}
 
 # The comparison is advisory: no baselines (fresh checkout, pruned
@@ -120,9 +145,23 @@ for b in $baselines; do
 	bt=$(json_str "$b" benchtime)
 	[ -n "$bt" ] || bt=$BENCHTIME
 	echo "== $b: go test -bench '$regex' (benchtime $bt, tolerance ${TOLERANCE}x)"
-	go test -run '^$' -bench "$regex" -benchtime "$bt" . | tee "$out"
+	# No pipeline here: POSIX sh has no pipefail, so `go test | tee`
+	# would report tee's status and mask a benchmark build/run failure.
+	# Capture to a file, propagate go test's own status, then show it.
+	if go test -run '^$' -bench "$regex" -benchtime "$bt" . >"$out" 2>&1; then
+		cat "$out"
+	else
+		cat "$out"
+		echo "benchdiff: go test -bench '$regex' failed" >&2
+		exit 1
+	fi
 	echo
 	compare "$b" "$out" || status=1
+	if [ -n "${RECORD_DIR:-}" ]; then
+		mkdir -p "$RECORD_DIR"
+		record "$regex" "$bt" "$out" >"$RECORD_DIR/$b"
+		echo "recorded this run's numbers to $RECORD_DIR/$b"
+	fi
 	echo
 done
 

@@ -6,7 +6,7 @@
 # this script (.github/workflows/ci.yml).
 set -eu
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 echo "== gofmt -l"
 unformatted=$(gofmt -l .)
@@ -33,8 +33,15 @@ go test -race ./...
 
 # -short keeps the smoke to the 10k/100k pool configurations; the
 # 1M-job ones take tens of seconds and belong to the advisory bench
-# job (scripts/benchdiff.sh against BENCH_pool.json).
+# job (scripts/benchdiff.sh against BENCH_pool.json). The status check
+# is explicit — not left to set -e — so the stage keeps failing the
+# gate even if its output is ever piped (POSIX sh has no pipefail and
+# set -e only sees the last command of a pipeline) or if stages are
+# appended after it.
 echo "== bench smoke (-benchtime 1x -short)"
-go test -run '^$' -bench . -benchtime 1x -short .
+if ! go test -run '^$' -bench . -benchtime 1x -short .; then
+	echo "check: bench smoke FAILED" >&2
+	exit 1
+fi
 
 echo "check: OK"
