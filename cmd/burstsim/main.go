@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fdw"
+	"fdw/internal/core/atomicfile"
 )
 
 func main() {
@@ -88,12 +90,9 @@ func run(batchPath, jobsPath string, probe, threshold, maxQueueM, maxGapM, costP
 		return err
 	}
 	if seriesPath != "" {
-		sf, err := os.Create(seriesPath)
-		if err != nil {
-			return err
-		}
-		defer sf.Close()
-		if err := fdw.WriteBurstSeriesCSV(sf, res); err != nil {
+		if err := atomicfile.WriteFile(seriesPath, func(w io.Writer) error {
+			return fdw.WriteBurstSeriesCSV(w, res)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("instant-throughput series written to %s (%d seconds)\n",

@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"fdw"
+	"fdw/internal/core/atomicfile"
 )
 
 func main() {
@@ -79,9 +81,11 @@ func run(configPath, name string, waveforms, stations int, seed uint64, logPath,
 	if err != nil {
 		return err
 	}
-	var logW *os.File
+	// The user log streams during the run but lands atomically: a
+	// killed run leaves no partial log for burstsim to misread.
+	var logW *atomicfile.File
 	if logPath != "" {
-		logW, err = os.Create(logPath)
+		logW, err = atomicfile.Create(logPath)
 		if err != nil {
 			return err
 		}
@@ -101,6 +105,11 @@ func run(configPath, name string, waveforms, stations int, seed uint64, logPath,
 	if err := fdw.RunBatch(env, []*fdw.Workflow{w}, fdw.SimTime(horizonH*3600)); err != nil {
 		return err
 	}
+	if logW != nil {
+		if err := logW.Commit(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("workflow finished in %.2f simulated hours (%.2f jobs/min)\n",
 		w.RuntimeHours(), w.ThroughputJPM())
@@ -116,32 +125,21 @@ func run(configPath, name string, waveforms, stations int, seed uint64, logPath,
 		if err != nil {
 			return err
 		}
-		bf, err := os.Create(filepath.Join(traceDir, "batch.csv"))
-		if err != nil {
+		if err := atomicfile.WriteFile(filepath.Join(traceDir, "batch.csv"), func(w io.Writer) error {
+			return fdw.WriteBatchCSV(w, batch)
+		}); err != nil {
 			return err
 		}
-		defer bf.Close()
-		if err := fdw.WriteBatchCSV(bf, batch); err != nil {
-			return err
-		}
-		jf, err := os.Create(filepath.Join(traceDir, "jobs.csv"))
-		if err != nil {
-			return err
-		}
-		defer jf.Close()
-		if err := fdw.WriteJobsCSV(jf, jobs); err != nil {
+		if err := atomicfile.WriteFile(filepath.Join(traceDir, "jobs.csv"), func(w io.Writer) error {
+			return fdw.WriteJobsCSV(w, jobs)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("traces written to %s (batch.csv, jobs.csv — burstsim input)\n", traceDir)
 	}
 
 	if metricsOut != "" {
-		mf, err := os.Create(metricsOut)
-		if err != nil {
-			return err
-		}
-		defer mf.Close()
-		if err := env.Obs.WriteJSON(mf); err != nil {
+		if err := atomicfile.WriteFile(metricsOut, env.Obs.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Printf("metrics snapshot written to %s (render with fdwmon -metrics)\n", metricsOut)

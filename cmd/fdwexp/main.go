@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"fdw"
+	"fdw/internal/core/atomicfile"
 	"fdw/internal/expt"
 )
 
@@ -201,30 +202,18 @@ func runMergeCmd(opt fdw.ExperimentOptions, csvDir, metricsPath string, paths []
 		return err
 	}
 	if metricsPath != "" && res.Metrics != nil {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := fdw.WriteMetricsSnapshot(f, res.Metrics); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return atomicfile.WriteFile(metricsPath, func(w io.Writer) error {
+			return fdw.WriteMetricsSnapshot(w, res.Metrics)
+		})
 	}
 	return nil
 }
 
-// writeMetrics dumps the shared registry as a JSON snapshot.
+// writeMetrics dumps the shared registry as a JSON snapshot. Like the
+// CSVs below it goes through atomicfile: a killed -shard run must
+// never leave a partial report next to a valid manifest bundle.
 func writeMetrics(path string, reg *fdw.Metrics) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, reg.WriteJSON)
 }
 
 // writeCSV saves figure data under dir when -csv is set.
@@ -235,15 +224,7 @@ func writeCSV(dir, name string, write func(io.Writer) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(filepath.Join(dir, name), write)
 }
 
 func dispatch(cmd string, opt fdw.ExperimentOptions, csvDir string) error {

@@ -156,3 +156,47 @@ func TestMergeWritesMetricsRollup(t *testing.T) {
 		t.Error("metrics rollup has no counters")
 	}
 }
+
+// TestCSVEmissionAtomic pins the -csv/-metrics durability contract:
+// an artifact is replaced by rename (a reader of the previous file
+// keeps seeing its complete bytes), and a failed emission leaves the
+// committed artifact untouched instead of truncating it in place.
+func TestCSVEmissionAtomic(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(s string) error {
+		return writeCSV(dir, "fig.csv", func(w io.Writer) error {
+			_, err := io.WriteString(w, s)
+			return err
+		})
+	}
+	if err := emit("first,complete\n"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := emit("second,complete\n"); err != nil {
+		t.Fatal(err)
+	}
+	old, err := io.ReadAll(f)
+	if err != nil || string(old) != "first,complete\n" {
+		t.Fatalf("previous-file reader saw %q (%v): replacement truncated in place", old, err)
+	}
+
+	boom := errors.New("emitter failed mid-write")
+	if err := writeCSV(dir, "fig.csv", func(w io.Writer) error {
+		if _, err := io.WriteString(w, "partial"); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("failed emission returned %v, want the emitter's error", err)
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil || string(cur) != "second,complete\n" {
+		t.Fatalf("after failed emission the artifact holds %q (%v), want the committed version", cur, err)
+	}
+}

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	fdwlint [-json] [-only analyzer,...] [-list] [packages...]
+//	fdwlint [-json] [-github] [-only analyzer,...] [-list] [packages...]
 //
 // With no patterns it analyzes ./... . Exit status is 0 when the tree
 // is clean, 1 when diagnostics were reported, and 2 when the analysis
 // itself failed (e.g. the tree does not compile).
+//
+// -github emits each diagnostic additionally as a GitHub Actions
+// ::error workflow command, so the CI lint job annotates the offending
+// lines directly in the pull-request diff.
 //
 // Diagnostics print as "file:line analyzer: message"; a line can be
 // suppressed with a reasoned directive:
@@ -34,10 +38,42 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// githubAnnotation renders a diagnostic as a GitHub Actions ::error
+// workflow command, which the runner turns into an inline annotation
+// on the pull-request diff. Properties and message get the escaping
+// the workflow-command grammar requires.
+func githubAnnotation(d lint.Diagnostic, base string) string {
+	file := d.File
+	if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=fdwlint %s::%s",
+		githubEscapeProp(file), d.Line, d.Col, githubEscapeProp(d.Analyzer),
+		githubEscapeData(d.Message))
+}
+
+// githubEscapeData escapes a workflow-command message.
+func githubEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// githubEscapeProp escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func githubEscapeProp(s string) string {
+	s = githubEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdwlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	github := fs.Bool("github", false, "also emit GitHub Actions ::error workflow commands")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("C", "", "change to this directory before analyzing")
@@ -111,6 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.Format(base))
+			if *github {
+				fmt.Fprintln(stdout, githubAnnotation(d, base))
+			}
 		}
 	}
 	if len(diags) > 0 {

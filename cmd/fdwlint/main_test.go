@@ -51,6 +51,51 @@ func TestJSONOnFixture(t *testing.T) {
 	}
 }
 
+// TestGitHubAnnotations runs the CLI with -github against a known-bad
+// fixture and checks the ::error workflow-command shape CI consumes.
+func TestGitHubAnnotations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-github", "-C", "../..", "-only", "atomicwrite",
+		"./internal/lint/testdata/src/atomicwrite_bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr %s)", code, errb.String())
+	}
+	var annotations int
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "::error ") {
+			continue
+		}
+		annotations++
+		if !strings.Contains(line, "file=internal/lint/testdata/src/atomicwrite_bad/atomicwrite_bad.go") {
+			t.Errorf("annotation missing repo-relative file property: %s", line)
+		}
+		if !strings.Contains(line, ",line=") || !strings.Contains(line, ",col=") {
+			t.Errorf("annotation missing line/col properties: %s", line)
+		}
+		if !strings.Contains(line, "title=fdwlint atomicwrite::") {
+			t.Errorf("annotation missing analyzer title: %s", line)
+		}
+	}
+	if annotations == 0 {
+		t.Fatalf("no ::error annotations emitted:\n%s", out.String())
+	}
+	// The human-readable lines must still be present alongside.
+	if !strings.Contains(out.String(), "atomicwrite: os.Create") {
+		t.Errorf("plain diagnostics missing from -github output:\n%s", out.String())
+	}
+}
+
+// TestGitHubEscaping pins the workflow-command escaping rules.
+func TestGitHubEscaping(t *testing.T) {
+	d := lint.Diagnostic{File: "a,b:c.go", Line: 3, Col: 7, Analyzer: "maporder",
+		Message: "100% broken\nsecond line"}
+	got := githubAnnotation(d, "")
+	want := "::error file=a%2Cb%3Ac.go,line=3,col=7,title=fdwlint maporder::100%25 broken%0Asecond line"
+	if got != want {
+		t.Errorf("githubAnnotation:\ngot  %s\nwant %s", got, want)
+	}
+}
+
 // TestCleanFixture checks the zero-diagnostic exit path.
 func TestCleanFixture(t *testing.T) {
 	var out, errb bytes.Buffer

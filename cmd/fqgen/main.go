@@ -13,11 +13,13 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"fdw"
+	"fdw/internal/core/atomicfile"
 	"fdw/internal/mseed"
 )
 
@@ -55,28 +57,26 @@ func run(mw float64, stations int, seed uint64, outDir string) error {
 	}
 
 	// Slip distribution: one row per subfault of the rupture patch.
-	rf, err := os.Create(filepath.Join(outDir, "rupture.csv"))
-	if err != nil {
-		return err
-	}
-	defer rf.Close()
-	cw := csv.NewWriter(rf)
-	if err := cw.Write([]string{"subfault", "slip_m", "onset_s", "rise_s"}); err != nil {
-		return err
-	}
-	for i, idx := range r.Patch {
-		row := []string{
-			strconv.Itoa(idx),
-			strconv.FormatFloat(r.SlipM[i], 'f', 4, 64),
-			strconv.FormatFloat(r.OnsetS[i], 'f', 2, 64),
-			strconv.FormatFloat(r.RiseS[i], 'f', 2, 64),
-		}
-		if err := cw.Write(row); err != nil {
+	err = atomicfile.WriteFile(filepath.Join(outDir, "rupture.csv"), func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"subfault", "slip_m", "onset_s", "rise_s"}); err != nil {
 			return err
 		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+		for i, idx := range r.Patch {
+			row := []string{
+				strconv.Itoa(idx),
+				strconv.FormatFloat(r.SlipM[i], 'f', 4, 64),
+				strconv.FormatFloat(r.OnsetS[i], 'f', 2, 64),
+				strconv.FormatFloat(r.RiseS[i], 'f', 2, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+	if err != nil {
 		return err
 	}
 
@@ -85,12 +85,10 @@ func run(mw float64, stations int, seed uint64, outDir string) error {
 	for i := range sc.Waveforms {
 		records = append(records, sc.Waveforms[i].ToRecords()...)
 	}
-	wf, err := os.Create(filepath.Join(outDir, "waveforms.mseed"))
+	err = atomicfile.WriteFile(filepath.Join(outDir, "waveforms.mseed"), func(w io.Writer) error {
+		return mseed.Write(w, records)
+	})
 	if err != nil {
-		return err
-	}
-	defer wf.Close()
-	if err := mseed.Write(wf, records); err != nil {
 		return err
 	}
 	fmt.Printf("products written to %s (rupture.csv, waveforms.mseed: %d records, %d bytes)\n",

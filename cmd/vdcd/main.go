@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"fdw"
+	"fdw/internal/core/atomicfile"
 )
 
 func main() {
@@ -100,19 +101,7 @@ func persisting(h http.Handler, c *fdw.Catalog, path string) http.Handler {
 }
 
 func saveCatalog(c *fdw.Catalog, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicfile.WriteFile(path, c.Save)
 }
 
 func seed(c *fdw.Catalog) error {

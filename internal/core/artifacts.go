@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"fdw/internal/core/atomicfile"
 	"fdw/internal/htcondor"
 )
 
@@ -14,7 +16,8 @@ import (
 // submit-description file per phase, with the work model's resource
 // requests and +FDW* attributes. The files round-trip through this
 // repository's own DAGMan and submit-file parsers, so they double as
-// golden fixtures.
+// golden fixtures. Each file is written atomically (temp + rename):
+// condor_submit_dag on a half-written DAG would submit a half DAG.
 func WriteArtifacts(cfg Config, dir string) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -26,15 +29,7 @@ func WriteArtifacts(cfg Config, dir string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, "fdw.dag"))
-	if err != nil {
-		return err
-	}
-	if err := d.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicfile.WriteFile(filepath.Join(dir, "fdw.dag"), d.Write); err != nil {
 		return err
 	}
 	_, aJobs, bJobs, cJobs, _ := cfg.JobCounts()
@@ -67,25 +62,11 @@ func WriteArtifacts(cfg Config, dir string) error {
 			},
 			QueueN: p.n,
 		}
-		pf, err := os.Create(filepath.Join(dir, p.file))
-		if err != nil {
-			return err
-		}
-		if err := sf.Write(pf); err != nil {
-			pf.Close()
-			return err
-		}
-		if err := pf.Close(); err != nil {
+		if err := atomicfile.WriteFile(filepath.Join(dir, p.file), sf.Write); err != nil {
 			return err
 		}
 	}
-	cf, err := os.Create(filepath.Join(dir, "fdw.cfg"))
-	if err != nil {
-		return err
-	}
-	if err := WriteConfig(cf, cfg); err != nil {
-		cf.Close()
-		return err
-	}
-	return cf.Close()
+	return atomicfile.WriteFile(filepath.Join(dir, "fdw.cfg"), func(w io.Writer) error {
+		return WriteConfig(w, cfg)
+	})
 }

@@ -174,6 +174,7 @@ func (e *Executor) metrics() *execMetrics {
 func (m *execMetrics) nodeRetry(dag, node string) *obs.Counter {
 	c, ok := m.nodeRetries[node]
 	if !ok {
+		//lint:allow seamguard reachable only via metrics(), which returns nil unless Obs (and so reg) is set
 		c = m.reg.Counter("fdw_dagman_node_retries_total", "dag", dag, "node", node)
 		m.nodeRetries[node] = c
 	}

@@ -6,8 +6,8 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
-	"path/filepath"
 
+	"fdw/internal/core/atomicfile"
 	"fdw/internal/dagman"
 	"fdw/internal/obs"
 	"fdw/internal/recovery"
@@ -145,22 +145,10 @@ func (m *CampaignManifest) Write(w io.Writer) error {
 }
 
 // WriteFile atomically replaces path with the manifest (temp file +
-// rename), so a kill mid-checkpoint leaves the previous complete
-// manifest in place rather than a truncated one.
+// fsync + rename via atomicfile), so a kill mid-checkpoint leaves the
+// previous complete manifest in place rather than a truncated one.
 func (m *CampaignManifest) WriteFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := m.Write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicfile.WriteFile(path, m.Write)
 }
 
 // ReadCampaignManifest parses and validates a manifest written by

@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sync"
 
@@ -152,10 +151,13 @@ func (c *FactorCache) SaveNPY(dir string) error {
 	return nil
 }
 
-// LoadNPY inserts every covfactor_*.npy in dir into the cache. Files
-// that do not parse as .npy matrices are reported; a dir with no factor
-// files is not an error (the cold-start case, like a missing
-// distances_subfault.npy).
+// LoadNPY inserts every covfactor_*.npy in dir into the cache. A dir
+// with no factor files is not an error (the cold-start case, like a
+// missing distances_subfault.npy), and a file that does not decode as
+// a .npy matrix — e.g. one truncated by a crash predating the atomic
+// writeNPY — is skipped rather than trusted or fatal: the factor it
+// held is simply recomputed on the next miss, while the intact files
+// still warm the cache.
 func (c *FactorCache) LoadNPY(dir string) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "covfactor_*.npy"))
 	if err != nil {
@@ -168,10 +170,7 @@ func (c *FactorCache) LoadNPY(dir string) error {
 		}
 		m, err := readNPY(p)
 		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return err
+			continue // corrupt or vanished: recompute on miss instead
 		}
 		c.Put(key, m)
 	}

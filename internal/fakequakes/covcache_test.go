@@ -1,11 +1,15 @@
 package fakequakes
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fdw/internal/geom"
 	"fdw/internal/linalg"
+	"fdw/internal/npy"
 	"fdw/internal/sim"
 )
 
@@ -168,5 +172,101 @@ func TestFactorCacheNPYRoundTrip(t *testing.T) {
 	// Loading an empty dir is the cold-start case, not an error.
 	if err := NewFactorCache(4).LoadNPY(t.TempDir()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFactorCacheLoadSkipsCorruptNPY pins the durability half of the
+// cache contract: a covfactor file truncated by a crash (the artifact
+// the pre-atomic writeNPY could leave behind) must be skipped — not
+// trusted, not fatal — so the factor is recomputed on the next miss
+// while intact files still warm the cache.
+func TestFactorCacheLoadSkipsCorruptNPY(t *testing.T) {
+	dir := t.TempDir()
+	good := linalg.NewMatrix(2, 2)
+	copy(good.Data, []float64{2, 0.5, 0.5, 2})
+	doomed := linalg.NewMatrix(3, 3)
+	for i := range doomed.Data {
+		doomed.Data[i] = float64(i)
+	}
+
+	c := NewFactorCache(4)
+	c.Put(0x11, good)
+	c.Put(0x22, doomed)
+	if err := c.SaveNPY(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate 0x22's file to half its bytes — the shape of a kill
+	// mid-write before writeNPY became atomic — and plant pure garbage
+	// under another validly named file.
+	p := filepath.Join(dir, fmt.Sprintf(factorNPYPattern, uint64(0x22)))
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	junk := filepath.Join(dir, fmt.Sprintf(factorNPYPattern, uint64(0xff)))
+	if err := os.WriteFile(junk, []byte("not an npy file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewFactorCache(4)
+	if err := fresh.LoadNPY(dir); err != nil {
+		t.Fatalf("LoadNPY must skip corrupt files, not fail: %v", err)
+	}
+	m, ok := fresh.Get(0x11)
+	if !ok {
+		t.Fatal("intact factor 0x11 did not load")
+	}
+	for i, v := range good.Data {
+		if m.Data[i] != v {
+			t.Fatalf("loaded factor differs at %d: %v != %v", i, m.Data[i], v)
+		}
+	}
+	if _, ok := fresh.Get(0x22); ok {
+		t.Fatal("truncated factor 0x22 was trusted instead of rejected")
+	}
+	if _, ok := fresh.Get(0xff); ok {
+		t.Fatal("garbage file 0xff was trusted instead of rejected")
+	}
+}
+
+// TestWriteNPYAtomicReplace pins the other half: replacing a cache
+// file is rename-based, so a reader that opened the previous file
+// keeps seeing the complete old bytes — an in-place truncating write
+// (the pre-fix os.Create path) would yank the data out from under it.
+func TestWriteNPYAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "covfactor_replace.npy")
+	m1 := linalg.NewMatrix(1, 2)
+	copy(m1.Data, []float64{1, 2})
+	m2 := linalg.NewMatrix(1, 2)
+	copy(m2.Data, []float64{9, 9})
+
+	if err := writeNPY(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := writeNPY(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	old, err := npy.Read(f)
+	if err != nil {
+		t.Fatalf("reader of the previous file hit a partial write: %v", err)
+	}
+	if old.Data[0] != 1 || old.Data[1] != 2 {
+		t.Fatalf("previous-file reader saw %v, want the complete old matrix", old.Data)
+	}
+	cur, err := readNPY(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Data[0] != 9 || cur.Data[1] != 9 {
+		t.Fatalf("replacement holds %v, want the new matrix", cur.Data)
 	}
 }

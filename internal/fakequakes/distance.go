@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"fdw/internal/core/atomicfile"
 	"fdw/internal/geom"
 	"fdw/internal/linalg"
 	"fdw/internal/npy"
@@ -120,17 +121,14 @@ func (d *DistanceMatrices) Validate(nSubfaults, nStations int) error {
 	return nil
 }
 
-func writeNPY(path string, m *linalg.Matrix) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return npy.Write(f, m)
+// writeNPY replaces path atomically (temp + fsync + rename): the
+// recyclable .npy caches are read by later warm runs, so a crash
+// mid-write must leave either the previous complete file or nothing —
+// a truncated cache would poison every run that trusts it.
+func writeNPY(path string, m *linalg.Matrix) error {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return npy.Write(w, m)
+	})
 }
 
 func readNPY(path string) (*linalg.Matrix, error) {
@@ -140,7 +138,7 @@ func readNPY(path string) (*linalg.Matrix, error) {
 	}
 	defer f.Close()
 	m, err := npy.Read(f)
-	if err != nil && err != io.EOF {
+	if err != nil {
 		return nil, fmt.Errorf("fakequakes: reading %s: %w", path, err)
 	}
 	return m, nil

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop closes the gap atomicwrite leaves open: routing a write
+// through atomicfile (or a deliberately-allowed os handle) only helps
+// if the errors those calls return are looked at. A dropped Close or
+// Sync error on a durable handle means the artifact may be missing or
+// short and nothing noticed; a dropped Commit means the rename never
+// happened. The analysis is function-local dataflow: handles returned
+// by the file-creation roots are durable, values built from a durable
+// handle (bufio.NewWriter(f), csv.NewWriter(f)) inherit it one hop at
+// a time, and *atomicfile.File and stored *os.File fields are durable
+// by type.
+
+// errdropMethods are the finishing calls whose error must be checked
+// when the receiver is durable. Only methods that actually return an
+// error are flagged (csv.Writer.Flush returns nothing and is exempt).
+var errdropMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"Write": true, "WriteString": true, "Commit": true,
+}
+
+// errdropRoots are the functions whose results are writable file
+// handles: package os creators plus atomicfile.Create.
+func isDurableRoot(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case "os":
+		return fn.Name() == "Create" || fn.Name() == "CreateTemp" || fn.Name() == "OpenFile"
+	case atomicfilePath:
+		return fn.Name() == "Create"
+	}
+	return false
+}
+
+// ErrdropAnalyzer flags discarded errors from finishing calls on
+// durable write paths: bare statements, defers, and `_ =` assignments
+// of Close/Flush/Sync/Write/WriteString/Commit on durable handles, and
+// of os.Rename anywhere.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded errors from Close/Flush/Sync/Write/Commit on durable write handles and from os.Rename",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			durable := durableLocals(pass.Pkg.Info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				deferred := false
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = s.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call, deferred = s.Call, true
+				case *ast.AssignStmt:
+					if len(s.Rhs) == 1 && allBlank(s.Lhs) {
+						call, _ = ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+					}
+				}
+				if call == nil {
+					return true
+				}
+				checkDrop(pass, durable, call, deferred)
+				return true
+			})
+		}
+	},
+}
+
+// allBlank reports whether every lvalue is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// durableLocals runs the per-function dataflow to a fixpoint: a local
+// is durable when assigned from a creation root, or from any call that
+// takes an already-durable local as an argument (the bufio.NewWriter
+// hop). Objects are function-scoped, so one file-wide map is safe.
+func durableLocals(info *types.Info, f *ast.File) map[types.Object]bool {
+	durable := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || durable[obj] {
+				return true
+			}
+			if isDurableRoot(calleeFunc(info, call)) || hasDurableArg(info, durable, call) {
+				durable[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+	return durable
+}
+
+// hasDurableArg reports whether any argument is a durable local.
+func hasDurableArg(info *types.Info, durable map[types.Object]bool, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && durable[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDrop reports call if it discards an error the durable-write
+// contract requires checking.
+func checkDrop(pass *Pass, durable map[types.Object]bool, call *ast.CallExpr, deferred bool) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if funcPkgPath(fn) == "os" && fn.Name() == "Rename" {
+		pass.Reportf(call.Pos(),
+			"error from os.Rename discarded: a failed rename means the artifact was never published — check it")
+		return
+	}
+	if !errdropMethods[fn.Name()] || !returnsError(fn) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !durableExpr(info, durable, sel.X) {
+		return
+	}
+	how := "discarded"
+	if deferred {
+		how = "discarded by defer"
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s %s on a durable write path: a lost write error here means a missing or short artifact — check it (atomicfile handles let you `defer f.Close()` and check Commit instead)",
+		types.ExprString(sel.X), fn.Name(), how)
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// durableExpr reports whether the receiver expression is on the
+// durable-write path: a durable local, any *atomicfile.File, or a
+// struct field of type *os.File (stored open files in this tree are
+// write handles; read files are opened and closed locally).
+func durableExpr(info *types.Info, durable map[types.Object]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		return obj != nil && durable[obj]
+	}
+	t := info.TypeOf(e)
+	if isPtrToNamed(t, atomicfilePath, "File") {
+		return true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			return isPtrToNamed(t, "os", "File")
+		}
+	}
+	return false
+}
+
+// isPtrToNamed reports whether t is *pkgPath.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(p.Elem()).(*types.Named)
+	return ok && n.Obj().Name() == name && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkgPath
+}

@@ -1,20 +1,31 @@
 // Package lint is fdwlint's engine: a small, stdlib-only static
-// analysis framework plus the four repo-specific analyzers that guard
-// FDW's determinism and observability invariants (DESIGN.md §9).
+// analysis framework plus the eight repo-specific analyzers that guard
+// FDW's determinism, durability, and observability invariants
+// (DESIGN.md §9 and §14).
 //
 // The analyzers are:
 //
-//	wallclock  — no wall-clock reads or timers outside the allowlist;
-//	             simulated code must use sim.Kernel's clock.
-//	globalrand — no math/rand or crypto/rand outside internal/sim,
-//	             which owns the deterministic RNG.
-//	maporder   — no order-sensitive work (appends, writes, sim events,
-//	             RNG draws, obs records) inside iteration over a map,
-//	             unless the keys are collected and sorted.
-//	obsflow    — values read from internal/obs instruments must not
-//	             flow into conditions, loop bounds, or variables
-//	             outside the exporter allowlist: observability
-//	             records, it never decides.
+//	wallclock   — no wall-clock reads or timers outside the allowlist;
+//	              simulated code must use sim.Kernel's clock.
+//	globalrand  — no math/rand or crypto/rand outside internal/sim,
+//	              which owns the deterministic RNG.
+//	maporder    — no order-sensitive work (appends, writes, sim events,
+//	              RNG draws, obs records) inside iteration over a map,
+//	              unless the keys are collected and sorted.
+//	obsflow     — values read from internal/obs instruments must not
+//	              flow into conditions, loop bounds, or variables
+//	              outside the exporter allowlist: observability
+//	              records, it never decides.
+//	atomicwrite — no direct os.Create/os.WriteFile/os.OpenFile/
+//	              os.CreateTemp outside internal/core/atomicfile:
+//	              durable artifacts land via temp+fsync+rename.
+//	seamguard   — calls through nil-off hook fields (nil-checked func
+//	              fields, *Hook interfaces, obs registries) must be
+//	              dominated by a nil check in the same function.
+//	floatorder  — float +=/-= reductions must not be ordered by map
+//	              iteration, channel arrival, or goroutine completion.
+//	errdrop     — errors from Close/Flush/Sync/Write/Commit on durable
+//	              write handles, and from os.Rename, must be checked.
 //
 // A diagnostic on line N is suppressed by a directive of the form
 //
@@ -85,7 +96,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full fdwlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WallclockAnalyzer, GlobalrandAnalyzer, MaporderAnalyzer, ObsflowAnalyzer}
+	return []*Analyzer{
+		WallclockAnalyzer, GlobalrandAnalyzer, MaporderAnalyzer, ObsflowAnalyzer,
+		AtomicwriteAnalyzer, SeamguardAnalyzer, FloatorderAnalyzer, ErrdropAnalyzer,
+	}
 }
 
 // directiveName is the pseudo-analyzer that owns diagnostics about the

@@ -84,9 +84,27 @@ func TestMaporderClean(t *testing.T) { runGolden(t, "maporder_clean", MaporderAn
 func TestObsflowBad(t *testing.T)   { runGolden(t, "obsflow_bad", ObsflowAnalyzer) }
 func TestObsflowClean(t *testing.T) { runGolden(t, "obsflow_clean", ObsflowAnalyzer) }
 
+func TestAtomicwriteBad(t *testing.T)   { runGolden(t, "atomicwrite_bad", AtomicwriteAnalyzer) }
+func TestAtomicwriteClean(t *testing.T) { runGolden(t, "atomicwrite_clean", AtomicwriteAnalyzer) }
+
+func TestSeamguardBad(t *testing.T)   { runGolden(t, "seamguard_bad", SeamguardAnalyzer) }
+func TestSeamguardClean(t *testing.T) { runGolden(t, "seamguard_clean", SeamguardAnalyzer) }
+
+func TestFloatorderBad(t *testing.T)   { runGolden(t, "floatorder_bad", FloatorderAnalyzer) }
+func TestFloatorderClean(t *testing.T) { runGolden(t, "floatorder_clean", FloatorderAnalyzer) }
+
+func TestErrdropBad(t *testing.T)   { runGolden(t, "errdrop_bad", ErrdropAnalyzer) }
+func TestErrdropClean(t *testing.T) { runGolden(t, "errdrop_clean", ErrdropAnalyzer) }
+
 // TestDirectiveDiagnostics runs the full suite so malformed, unknown,
 // and unused //lint:allow directives all surface.
 func TestDirectiveDiagnostics(t *testing.T) { runGolden(t, "directive_bad") }
+
+// TestDirectiveNewAnalyzers pins //lint:allow behaviour against the
+// durability analyzers: a reasoned suppression silences the line, a
+// reason-less or wrong-analyzer directive leaves the real diagnostic
+// standing, and directives with nothing to suppress surface as unused.
+func TestDirectiveNewAnalyzers(t *testing.T) { runGolden(t, "directive_new") }
 
 // TestRepoClean is the tree-wide invariant: the repository must lint
 // clean under every analyzer, with all suppressions reasoned. This is

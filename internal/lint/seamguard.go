@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// seamguard enforces the nil-off hook convention: optional seams —
+// func-typed struct fields the package itself nil-checks somewhere,
+// interface fields whose type name ends in "Hook", and *obs.Registry
+// fields — are off when nil, so every call through one must be
+// dominated by a nil check of the same field in the same function.
+// A guard outside an enclosing function literal does not count: the
+// closure may run after the field changed, which is why the pool
+// re-guards p.recovery inside its kernel callbacks.
+
+// SeamguardAnalyzer flags calls through nil-off hook fields that no
+// nil check dominates.
+var SeamguardAnalyzer = &Analyzer{
+	Name: "seamguard",
+	Doc:  "calls through nil-off hook fields (nil-checked func fields, *Hook interfaces, obs registries) must be dominated by a nil check",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		nilChecked := nilCheckedFuncFields(pass.Pkg)
+		for _, f := range pass.Pkg.Files {
+			parents := parentMap(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// Direct call of a func-typed field: p.siteDown(...).
+				if obj := funcFieldObj(info, sel); obj != nil && nilChecked[obj] {
+					if !nilGuarded(parents, call, sel) {
+						pass.Reportf(call.Pos(),
+							"call through nil-off hook field %s is not dominated by a nil check: guard it with `if %s != nil`",
+							types.ExprString(sel), types.ExprString(sel))
+					}
+					return true
+				}
+				// Method call through a hook-typed field:
+				// p.recovery.AttemptEnded(...), s.obs.Counter(...).
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if kind := hookFieldKind(info, inner); kind != "" && !nilGuarded(parents, call, inner) {
+						pass.Reportf(call.Pos(),
+							"call through nil-off %s field %s is not dominated by a nil check: guard it with `if %s != nil`",
+							kind, types.ExprString(inner), types.ExprString(inner))
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// nilCheckedFuncFields collects the func-typed struct fields this
+// package compares against nil anywhere: the package's own signal that
+// the field is an optional hook rather than an always-set callback.
+func nilCheckedFuncFields(pkg *Package) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				sel, ok := ast.Unparen(pair[0]).(*ast.SelectorExpr)
+				if !ok || !isNilExpr(pair[1]) {
+					continue
+				}
+				if obj := funcFieldObj(pkg.Info, sel); obj != nil {
+					fields[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// funcFieldObj resolves sel to a struct field of function type, or nil.
+func funcFieldObj(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if _, ok := s.Obj().Type().Underlying().(*types.Signature); !ok {
+		return nil
+	}
+	return s.Obj()
+}
+
+// hookFieldKind classifies sel as a hook-typed struct field: an
+// *obs.Registry ("obs registry") or an interface named *Hook ("hook
+// interface"). Empty string otherwise.
+func hookFieldKind(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	t := types.Unalias(s.Obj().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		if n, ok := types.Unalias(p.Elem()).(*types.Named); ok &&
+			n.Obj().Name() == "Registry" && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == obsPath {
+			return "obs registry"
+		}
+		return ""
+	}
+	if n, ok := t.(*types.Named); ok {
+		if _, ok := n.Underlying().(*types.Interface); ok &&
+			len(n.Obj().Name()) > 4 && n.Obj().Name()[len(n.Obj().Name())-4:] == "Hook" {
+			return "hook interface"
+		}
+	}
+	return ""
+}
+
+// nilGuarded reports whether a nil check of target dominates call
+// within the innermost enclosing function. Recognized shapes:
+//
+//	if target != nil { ... call ... }          (any &&-conjunct)
+//	target != nil && target(...)               (short-circuit)
+//	if target == nil { ... } else { call }     (any ||-disjunct)
+//	if target == nil { return }; ... call ...  (early return/branch/panic)
+func nilGuarded(parents map[ast.Node]ast.Node, call *ast.CallExpr, target ast.Expr) bool {
+	want := types.ExprString(ast.Unparen(target))
+	for cur := ast.Node(call); cur != nil; cur = parents[cur] {
+		switch p := parents[cur].(type) {
+		case *ast.BinaryExpr:
+			if p.Op == token.LAND && p.Y == cur && condNilCheck(p.X, want, token.NEQ) {
+				return true
+			}
+		case *ast.IfStmt:
+			if p.Body == cur && condNilCheck(p.Cond, want, token.NEQ) {
+				return true
+			}
+			if p.Else == cur && condNilCheck(p.Cond, want, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier sibling `if target == nil { return }` dominates
+			// everything after it in this block.
+			for _, st := range p.List {
+				if st.End() >= call.Pos() {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && condNilCheck(ifs.Cond, want, token.EQL) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // a guard outside the closure may be stale
+		}
+	}
+	return false
+}
+
+// condNilCheck reports whether cond establishes `want <op> nil` when it
+// evaluates true: for NEQ the check must be an &&-conjunct, for EQL an
+// ||-disjunct (so a true cond still pins the field to nil).
+func condNilCheck(cond ast.Expr, want string, op token.Token) bool {
+	cond = ast.Unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok {
+		chain := token.LAND
+		if op == token.EQL {
+			chain = token.LOR
+		}
+		if be.Op == chain {
+			return condNilCheck(be.X, want, op) || condNilCheck(be.Y, want, op)
+		}
+		if be.Op == op {
+			return (types.ExprString(ast.Unparen(be.X)) == want && isNilExpr(be.Y)) ||
+				(types.ExprString(ast.Unparen(be.Y)) == want && isNilExpr(be.X))
+		}
+	}
+	return false
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control out:
+// its last statement is a return, a branch, or a panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

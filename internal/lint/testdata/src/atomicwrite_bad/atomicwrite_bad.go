@@ -1,0 +1,27 @@
+// Package atomicwrite_bad creates output files in place: every call
+// here can leave a truncated artifact under its real name if the
+// process dies mid-write.
+package atomicwrite_bad
+
+import "os"
+
+// Emit truncates the destination before a single byte is written.
+func Emit(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Stream hands back an in-place handle; a kill mid-stream corrupts it.
+func Stream(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// Append opens the destination for in-place mutation.
+func Append(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+}
+
+// Scratch leaks an orphan temp file on any failure path that forgets
+// to remove it.
+func Scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch-*")
+}

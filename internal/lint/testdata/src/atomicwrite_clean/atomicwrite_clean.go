@@ -1,0 +1,43 @@
+// Package atomicwrite_clean lands every artifact atomically through
+// internal/core/atomicfile and only ever opens files directly to read.
+package atomicwrite_clean
+
+import (
+	"io"
+	"os"
+
+	"fdw/internal/core/atomicfile"
+)
+
+// Emit stages the bytes in a temp file and renames them into place.
+func Emit(path string, data []byte) error {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Stream writes incrementally and publishes only on Commit.
+func Stream(path string, chunks [][]byte) error {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		if _, err := f.Write(c); err != nil {
+			return err
+		}
+	}
+	return f.Commit()
+}
+
+// Load reads; os.Open never mutates the destination and stays allowed.
+func Load(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,35 @@
+// Package directive_new exercises //lint:allow against the durability
+// and determinism analyzers: a reasoned suppression that works, a
+// reason-less one that does not, a directive naming the wrong analyzer
+// for the line it sits on, and an unused one.
+package directive_new
+
+import "os"
+
+// Scratch is a reasoned, working suppression: the diagnostic is
+// silenced and the directive counts as used.
+func Scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "probe-*") //lint:allow atomicwrite probe file, never read back as an artifact
+}
+
+// NoReason forgets the mandatory reason, so the atomicwrite
+// diagnostic survives alongside the directive complaint.
+func NoReason(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //lint:allow atomicwrite
+}
+
+// WrongAnalyzer names errdrop on an atomicwrite line: the real
+// diagnostic survives and the directive is reported unused.
+func WrongAnalyzer(path string) (*os.File, error) {
+	return os.Create(path) //lint:allow errdrop wrong analyzer for this line
+}
+
+// MapTotal's suppression sits on a clean line: unused.
+func MapTotal(xs []float64) float64 {
+	var s float64
+	//lint:allow floatorder slices iterate in index order already
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

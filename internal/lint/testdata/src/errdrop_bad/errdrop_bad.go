@@ -1,0 +1,71 @@
+// Package errdrop_bad throws away the errors that tell it whether a
+// durable write actually landed.
+package errdrop_bad
+
+import (
+	"bufio"
+	"os"
+
+	"fdw/internal/core/atomicfile"
+)
+
+// CloseDropped ignores both the write and the close.
+func CloseDropped(path string, data []byte) {
+	f, _ := os.Create(path)
+	f.Write(data)
+	f.Close()
+}
+
+// DeferClose loses the close error to a defer: the write can be short
+// and the function still returns nil.
+func DeferClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("hello\n")
+	return err
+}
+
+// BufferedFlush drops the flush on a writer one hop from the file.
+func BufferedFlush(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("row\n"); err != nil {
+		return err
+	}
+	w.Flush()
+	return f.Close()
+}
+
+// RenameDropped never learns whether the artifact was published.
+func RenameDropped(tmp, dst string) {
+	os.Rename(tmp, dst)
+}
+
+// CommitDropped stages the bytes and ignores whether the rename into
+// place happened.
+func CommitDropped(path string, data []byte) {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(data); err != nil {
+		return
+	}
+	f.Commit()
+}
+
+// BlankSync discards explicitly; the blank is still a dropped error.
+func BlankSync(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Sync()
+	return f.Close()
+}

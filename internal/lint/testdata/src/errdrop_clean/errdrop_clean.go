@@ -1,0 +1,78 @@
+// Package errdrop_clean checks every finishing error on its durable
+// paths, and shows the receivers errdrop deliberately ignores.
+package errdrop_clean
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+	"strings"
+
+	"fdw/internal/core/atomicfile"
+)
+
+// WriteChecked propagates the write and returns the close error.
+func WriteChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Atomic uses the streaming idiom: Close returns nothing (the abort
+// path is best-effort by design) and the Commit error is returned.
+func Atomic(path string, data []byte) error {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// Rows flushes a csv.Writer (which returns no error — the flush error
+// surfaces through Error) on a durable handle.
+func Rows(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads: os.Open is not a durable write root, so the deferred
+// close on the read handle is fine.
+func Load(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Render writes into memory; a strings.Builder is not durable.
+func Render(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}

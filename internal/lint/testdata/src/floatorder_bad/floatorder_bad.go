@@ -1,0 +1,60 @@
+// Package floatorder_bad sums floats in orders Go does not pin down:
+// map iteration, channel arrival, and goroutine completion. Float
+// addition is not associative, so each of these sums can change bits
+// from run to run.
+package floatorder_bad
+
+import "sync"
+
+// MapSum accumulates in map iteration order.
+func MapSum(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// MapBins spreads into bins; each bin still receives its addends in
+// map order.
+func MapBins(readings map[string]float64, bins map[int]float64) {
+	for k, v := range readings {
+		bins[len(k)%4] += v
+	}
+}
+
+// ChanSum accumulates in arrival order.
+func ChanSum(ch chan float64) float64 {
+	var s float64
+	for v := range ch {
+		s += v
+	}
+	return s
+}
+
+// RecvLoop drains n results in completion order.
+func RecvLoop(results chan float64, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += <-results
+	}
+	return total
+}
+
+// GoSum lets the scheduler decide the order of additions.
+func GoSum(xs []float64) float64 {
+	var sum float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			sum += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}

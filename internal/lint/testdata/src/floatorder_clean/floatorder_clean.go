@@ -1,0 +1,78 @@
+// Package floatorder_clean reduces floats only in pinned orders: index
+// order, sorted keys, per-iteration accumulators, and the per-worker
+// partial-sums pattern the parallel kernels use.
+package floatorder_clean
+
+import (
+	"sort"
+	"sync"
+)
+
+// SliceSum: slices iterate in index order.
+func SliceSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SortedMapSum pins the order by iterating sorted keys.
+func SortedMapSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// KeySums accumulates per key into a fresh accumulator each
+// iteration: nothing crosses map-iteration boundaries.
+func KeySums(series map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(series))
+	for k, xs := range series {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// CountSamples: integer addition is associative; order cannot change
+// the total.
+func CountSamples(m map[string][]float64) int {
+	n := 0
+	for _, xs := range m {
+		n += len(xs)
+	}
+	return n
+}
+
+// PerWorker accumulates into disjoint slots and reduces the partials
+// in index order — the blessed parallel-reduction shape.
+func PerWorker(xs []float64, workers int) float64 {
+	parts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += workers {
+				parts[w] += xs[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+// Package seamguard_bad calls through nil-off hook seams without a
+// dominating nil check: each call here panics the moment the hook is
+// left unset.
+package seamguard_bad
+
+import "fdw/internal/obs"
+
+// ExecHook is an optional seam by naming convention.
+type ExecHook interface {
+	OnFault(site string)
+}
+
+// Pool has one of each hook kind: a nil-checked func field, a *Hook
+// interface field, and an obs registry field.
+type Pool struct {
+	gate     func(n int) bool
+	recovery ExecHook
+	reg      *obs.Registry
+}
+
+// SetGate registers the optional admission gate.
+func (p *Pool) SetGate(fn func(n int) bool) { p.gate = fn }
+
+// gateOK is the package's own nil check of the gate — the signal that
+// the field is a nil-off hook, not an always-set callback.
+func (p *Pool) gateOK() bool { return p.gate != nil }
+
+// Admit calls the gate with no guard in sight.
+func (p *Pool) Admit(n int) bool {
+	return p.gate(n)
+}
+
+// Fault calls the hook interface unguarded.
+func (p *Pool) Fault(site string) {
+	p.recovery.OnFault(site)
+}
+
+// Count records through the registry field unguarded.
+func (p *Pool) Count() {
+	p.reg.Counter("pool_admissions_total").Inc()
+}
+
+// Stale guards outside the goroutine; by the time the closure runs the
+// hook may have been cleared, so the inner call needs its own check.
+func (p *Pool) Stale(site string) {
+	if p.recovery != nil {
+		go func() {
+			p.recovery.OnFault(site)
+		}()
+	}
+}
+
+// WrongConjunct reaches the call with the gate possibly nil: a true
+// `n > 0` short-circuits past the nil check.
+func (p *Pool) WrongConjunct(n int) bool {
+	if n > 0 || p.gate != nil {
+		return p.gate(n)
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+// Package seamguard_clean shows every guard idiom seamguard accepts,
+// plus the field shapes it deliberately leaves alone.
+package seamguard_clean
+
+import "fdw/internal/obs"
+
+// DoneHook is an optional completion seam.
+type DoneHook interface {
+	Done(id int)
+}
+
+// Runner carries one hook of each kind.
+type Runner struct {
+	veto func(id int) bool
+	hook DoneHook
+	reg  *obs.Registry
+}
+
+// SetVeto registers the optional veto.
+func (r *Runner) SetVeto(fn func(id int) bool) { r.veto = fn }
+
+// Finish: the plain enclosing guard.
+func (r *Runner) Finish(id int) {
+	if r.hook != nil {
+		r.hook.Done(id)
+	}
+}
+
+// Vetoed: the short-circuit conjunction.
+func (r *Runner) Vetoed(id int) bool {
+	return r.veto != nil && r.veto(id)
+}
+
+// Maybe: the guard as one conjunct of a larger condition.
+func (r *Runner) Maybe(id int, on bool) {
+	if on && r.hook != nil {
+		r.hook.Done(id)
+	}
+}
+
+// Record: the else branch of an == nil check.
+func (r *Runner) Record() {
+	if r.reg == nil {
+		return
+	}
+	r.reg.Counter("runner_done_total").Inc()
+}
+
+// Export: the else arm directly.
+func (r *Runner) Export(id int) {
+	if r.reg == nil {
+		// metrics off
+	} else {
+		r.reg.Gauge("runner_last_id").Set(float64(id))
+	}
+}
+
+// Async re-guards inside the goroutine, where it counts.
+func (r *Runner) Async(id int) {
+	go func() {
+		if r.hook != nil {
+			r.hook.Done(id)
+		}
+	}()
+}
+
+// Task.step is never compared to nil anywhere in this package: it is
+// an always-set callback, not a nil-off hook, and calls need no guard.
+type Task struct {
+	step func()
+}
+
+// NewTask always sets step.
+func NewTask(step func()) *Task { return &Task{step: step} }
+
+// Run calls the always-set callback bare.
+func (t *Task) Run() { t.step() }
+
+// Export2 calls through a registry parameter, not a field: locals and
+// parameters are the caller's contract, not a seam.
+func Export2(reg *obs.Registry) {
+	reg.Counter("export_calls_total").Inc()
+}

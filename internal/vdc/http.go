@@ -63,8 +63,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(route, "/products/") {
 		route = "/products/{id}" // collapse ids to keep label cardinality bounded
 	}
-	s.obs.Counter("vdc_http_requests_total",
-		"method", r.Method, "route", route, "status", strconv.Itoa(rec.status)).Inc()
+	if s.obs != nil {
+		s.obs.Counter("vdc_http_requests_total",
+			"method", r.Method, "route", route, "status", strconv.Itoa(rec.status)).Inc()
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -72,9 +74,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("vdc: method %s not allowed", r.Method))
 		return
 	}
-	s.obs.Gauge("vdc_catalog_products").Set(float64(s.catalog.Len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.obs.WritePrometheus(w)
+	if s.obs != nil {
+		s.obs.Gauge("vdc_catalog_products").Set(float64(s.catalog.Len()))
+		_ = s.obs.WritePrometheus(w)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

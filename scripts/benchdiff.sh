@@ -117,7 +117,14 @@ record() {
 	' "$3"
 }
 
-baselines=${BASELINE:-$(ls BENCH_*.json 2>/dev/null || true)}
+baselines=${BASELINE:-}
+if [ -z "$baselines" ]; then
+	# Glob instead of ls: with no baselines the pattern stays literal
+	# and the -f test below filters it out.
+	for f in BENCH_*.json; do
+		[ -f "$f" ] && baselines="$baselines $f"
+	done
+fi
 
 # The comparison is advisory: no baselines (fresh checkout, pruned
 # artifacts) means there is nothing to compare against, which is a
@@ -132,6 +139,7 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 status=0
 
+# shellcheck disable=SC2086 # word-splitting the space-separated list is the point
 for b in $baselines; do
 	if [ ! -f "$b" ]; then
 		echo "benchdiff: baseline $b not found; skipping (advisory pass)"

@@ -25,6 +25,16 @@ go vet ./...
 echo "== fdwlint ./... (determinism & invariant analyzers, DESIGN.md §9)"
 go run ./cmd/fdwlint ./...
 
+# shellcheck is not part of the Go toolchain, so this stage is gated
+# on availability to keep the local gate self-contained; the CI lint
+# job runs it unconditionally, so script regressions cannot merge.
+if command -v shellcheck >/dev/null 2>&1; then
+	echo "== shellcheck scripts/*.sh"
+	shellcheck scripts/*.sh
+else
+	echo "== shellcheck not installed; skipping (CI lint job enforces it)"
+fi
+
 echo "== go build ./..."
 go build ./...
 
