@@ -12,6 +12,7 @@ import (
 
 	"fdw"
 	"fdw/internal/fakequakes"
+	"fdw/internal/geom"
 	"fdw/internal/linalg"
 	"fdw/internal/sim"
 )
@@ -138,8 +139,9 @@ func benchRandom(rows, cols int, seed uint64) *linalg.Matrix {
 	return m
 }
 
-// BenchmarkCholesky factorizes covariance-sized SPD matrices with the
-// serial and the pool-parallel kernel.
+// BenchmarkCholesky factorizes covariance-sized SPD matrices.
+// serial/parallel run the blocked kernel; reference runs the retained
+// unblocked executable spec (reference.go).
 func BenchmarkCholesky(b *testing.B) {
 	for _, n := range kernelSizes {
 		m := benchSPD(n)
@@ -157,12 +159,19 @@ func BenchmarkCholesky(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("reference/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.ReferenceCholesky(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkMatMul multiplies square dense matrices. The serial kernel
-// here is already the dense path with the zero-skip branch removed
-// (recorded in BENCH_kernels.json as a few percent on dense operands).
+// BenchmarkMatMul multiplies square dense matrices. serial/parallel
+// run the blocked FMA kernel; reference runs the retained naive i-k-j
+// executable spec (reference.go), quantifying the blocked speedup.
 func BenchmarkMatMul(b *testing.B) {
 	for _, n := range kernelSizes {
 		x := benchRandom(n, n, 1)
@@ -177,6 +186,13 @@ func BenchmarkMatMul(b *testing.B) {
 		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := x.ParallelMul(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reference/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := x.ReferenceMul(y); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -206,6 +222,40 @@ func BenchmarkGenerateScenario(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := fdw.GenerateScenario(uint64(i+1), mw, 2); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGreens measures Phase B: cold computes the Green's-function
+// kernels from scratch; warm recycles the persisted .npy via GFCache —
+// the campaign-sharing-geometry case the cache exists for.
+func BenchmarkGreens(b *testing.B) {
+	cfg := geom.DefaultChileFault()
+	cfg.SubfaultKm = 25
+	fault, err := geom.BuildFault(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stations := geom.FullChileanStations()[:4]
+	dist := fakequakes.ComputeDistanceMatrices(fault, stations)
+	gfCfg := fakequakes.DefaultGFConfig()
+	b.Run("cold-compute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fakequakes.ComputeGreens(fault, stations, dist, gfCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-gfcache", func(b *testing.B) {
+		c := fakequakes.NewGFCache(b.TempDir())
+		if _, _, err := c.LoadOrCompute(fault, stations, dist, gfCfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := c.LoadOrCompute(fault, stations, dist, gfCfg); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
 			}
 		}
 	})

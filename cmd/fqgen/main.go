@@ -29,15 +29,22 @@ func main() {
 		stations = flag.Int("stations", 5, "number of GNSS stations")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		outDir   = flag.String("out", "", "directory for rupture.csv and waveforms.mseed (optional)")
+		gfCache  = flag.String("gfcache", "", "directory for recycled Green's-function kernels (optional; skips Phase B on matching geometry)")
 	)
 	flag.Parse()
-	if err := run(*mw, *stations, *seed, *outDir); err != nil {
+	if err := run(*mw, *stations, *seed, *outDir, *gfCache); err != nil {
 		fmt.Fprintln(os.Stderr, "fqgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mw float64, stations int, seed uint64, outDir string) error {
+func run(mw float64, stations int, seed uint64, outDir, gfCache string) error {
+	if gfCache != "" {
+		if err := os.MkdirAll(gfCache, 0o755); err != nil {
+			return err
+		}
+		fdw.EnableGFCache(gfCache)
+	}
 	sc, err := fdw.GenerateScenario(seed, mw, stations)
 	if err != nil {
 		return err

@@ -4,11 +4,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"fdw"
 )
 
 func TestFqgenWritesProducts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(8.1, 2, 5, dir); err != nil {
+	if err := run(8.1, 2, 5, dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"rupture.csv", "waveforms.mseed"} {
@@ -23,13 +25,45 @@ func TestFqgenWritesProducts(t *testing.T) {
 }
 
 func TestFqgenNoOutputDir(t *testing.T) {
-	if err := run(8.0, 1, 1, ""); err != nil {
+	if err := run(8.0, 1, 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFqgenRejectsBadMagnitude(t *testing.T) {
-	if err := run(5.0, 2, 1, ""); err == nil {
+	if err := run(5.0, 2, 1, "", ""); err == nil {
 		t.Fatal("Mw 5 accepted")
+	}
+}
+
+// TestFqgenGFCacheRecycles exercises the -gfcache path end to end: the
+// second run with the same geometry must reuse the persisted kernels
+// and still produce byte-identical products.
+func TestFqgenGFCacheRecycles(t *testing.T) {
+	defer fdw.EnableGFCache("")
+	cache := t.TempDir()
+	out1, out2 := t.TempDir(), t.TempDir()
+	if err := run(8.1, 2, 5, out1, cache); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(cache, "greens_*.npy"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("cache holds %d greens files (%v), want 1", len(matches), err)
+	}
+	if err := run(8.1, 2, 5, out2, cache); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"rupture.csv", "waveforms.mseed"} {
+		a, err := os.ReadFile(filepath.Join(out1, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(out2, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs between cold and warm gfcache runs", f)
+		}
 	}
 }

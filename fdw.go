@@ -117,6 +117,29 @@ func NewEnvWithMetrics(seed uint64, pool PoolConfig, reg *Metrics) (*Env, error)
 // tallies into reg (see GenerateScenario and the fakequakes kernels).
 func MeterFactorCache(reg *Metrics) { fakequakes.DefaultFactorCache.SetObs(reg) }
 
+// EnableGFCache turns on Green's-function recycling: scenario runs
+// persist Phase B kernels as greens_<fingerprint>.npy under dir and
+// every later run sharing the fault geometry, station set, and GF
+// configuration loads them instead of recomputing — the paper's
+// distance-matrix recycling applied to its dominant phase. Recycled
+// kernels hold the exact computed bits, so enabling the cache never
+// changes scenario output. An empty dir disables recycling again.
+func EnableGFCache(dir string) {
+	if dir == "" {
+		fakequakes.DefaultGFCache = nil
+		return
+	}
+	fakequakes.DefaultGFCache = fakequakes.NewGFCache(dir)
+}
+
+// MeterGFCache mirrors the Green's-function cache's hit/miss tallies
+// into reg. A no-op until EnableGFCache installs a cache.
+func MeterGFCache(reg *Metrics) {
+	if fakequakes.DefaultGFCache != nil {
+		fakequakes.DefaultGFCache.SetObs(reg)
+	}
+}
+
 // Workflow is one FDW run (a DAGMan with its own schedd identity).
 type Workflow = core.Workflow
 

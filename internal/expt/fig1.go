@@ -48,7 +48,7 @@ func Fig1(seed uint64, targetMw float64, nStations int) (*Fig1Products, error) {
 	if err != nil {
 		return nil, err
 	}
-	gf, err := fakequakes.ComputeGreens(fault, stations, dist, fakequakes.DefaultGFConfig())
+	gf, err := fakequakes.GreensForScenario(fault, stations, dist, fakequakes.DefaultGFConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -195,6 +195,18 @@ func (h *fnv1a) word(v uint64) {
 
 func (h *fnv1a) float(v float64) { h.word(math.Float64bits(v)) }
 
+// str mixes a string byte-by-byte, then its length (so consecutive
+// strings cannot alias by shifting bytes between them).
+func (h *fnv1a) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= 0x100000001b3
+	}
+	*h = fnv1a(x)
+	h.word(uint64(len(s)))
+}
+
 // faultCovHash digests the fault properties the slip covariance reads:
 // the mesh dimensions, subfault spacing, and per-subfault grid layout.
 func faultCovHash(f *geom.Fault) uint64 {
@@ -211,10 +223,29 @@ func faultCovHash(f *geom.Fault) uint64 {
 	return uint64(h)
 }
 
-// covFactorKey identifies one covariance factorization: fault geometry,
-// kernel, correlation lengths, sigma, and the patch's relative layout.
+// covKernelVersion tags every covariance-factor key with the linalg
+// kernel generation whose rounding produced the factor. The blocked
+// Cholesky repin (DESIGN.md §15) changed the factor's bits, so a
+// covfactor_*.npy written by the previous kernel must never satisfy a
+// lookup from the current one — a stale hit would silently break the
+// bit-determinism contract. Bump this whenever kernel rounding changes.
+//
+//	1: unblocked left-looking Cholesky (plain multiply-add)
+//	2: blocked left-looking Cholesky (fused GEMM prefix)
+const covKernelVersion = 2
+
+// covFactorKey identifies one covariance factorization: kernel
+// generation, fault geometry, correlation kernel, correlation lengths,
+// sigma, and the patch's relative layout.
 func covFactorKey(faultHash uint64, kern Kernel, sigmaLn, aS, aD float64, f *geom.Fault, patch []int) uint64 {
+	return covFactorKeyAt(covKernelVersion, faultHash, kern, sigmaLn, aS, aD, f, patch)
+}
+
+// covFactorKeyAt is covFactorKey for an explicit kernel generation;
+// tests use it to reconstruct the keys a pre-repin build wrote.
+func covFactorKeyAt(version uint64, faultHash uint64, kern Kernel, sigmaLn, aS, aD float64, f *geom.Fault, patch []int) uint64 {
 	h := newFNV()
+	h.word(version)
 	h.word(faultHash)
 	h.word(uint64(kern))
 	h.float(sigmaLn)

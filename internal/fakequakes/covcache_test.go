@@ -270,3 +270,94 @@ func TestWriteNPYAtomicReplace(t *testing.T) {
 		t.Fatalf("replacement holds %v, want the new matrix", cur.Data)
 	}
 }
+
+// TestCovFactorKeyVersioned pins satellite 2: keys carry the linalg
+// kernel generation, so a covfactor_*.npy written by the pre-repin
+// (unblocked) kernel can never satisfy a post-repin lookup — it is
+// recomputed, and the scenario matches an uncached run bit for bit.
+func TestCovFactorKeyVersioned(t *testing.T) {
+	gen := testGenerator(t)
+
+	// Discover the key inputs of one concrete scenario.
+	gen.Factors = NewFactorCache(4)
+	r, err := gen.GenerateMw("run", 8.1, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gen.Fault
+	minA, maxA := f.Subfaults[r.Patch[0]].Along, f.Subfaults[r.Patch[0]].Along
+	minD, maxD := f.Subfaults[r.Patch[0]].Down, f.Subfaults[r.Patch[0]].Down
+	for _, idx := range r.Patch {
+		s := &f.Subfaults[idx]
+		minA, maxA = min(minA, s.Along), max(maxA, s.Along)
+		minD, maxD = min(minD, s.Down), max(maxD, s.Down)
+	}
+	aS, aD := PatchCorrelationLengths(maxA-minA+1, maxD-minD+1, f.SubfaultLen, f.SubfaultWid)
+	cur := covFactorKey(gen.faultHash, gen.Kern, gen.SigmaLn, aS, aD, f, r.Patch)
+	old := covFactorKeyAt(covKernelVersion-1, gen.faultHash, gen.Kern, gen.SigmaLn, aS, aD, f, r.Patch)
+
+	if cur != covFactorKeyAt(covKernelVersion, gen.faultHash, gen.Kern, gen.SigmaLn, aS, aD, f, r.Patch) {
+		t.Fatal("covFactorKey does not equal covFactorKeyAt at the current version")
+	}
+	if cur == old {
+		t.Fatal("kernel version does not separate keys")
+	}
+	if _, ok := gen.Factors.Get(cur); !ok {
+		t.Fatal("reconstructed key does not match the one GenerateMw used")
+	}
+
+	// Plant a poisoned factor under the OLD version's key, as a cache
+	// dir written by a pre-repin build would hold, and reload it.
+	dir := t.TempDir()
+	poison := linalg.NewMatrix(len(r.Patch), len(r.Patch))
+	for i := range poison.Data {
+		poison.Data[i] = 1e9
+	}
+	if err := writeNPY(filepath.Join(dir, fmt.Sprintf(factorNPYPattern, old)), poison); err != nil {
+		t.Fatal(err)
+	}
+	stale := NewFactorCache(4)
+	if err := stale.LoadNPY(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stale.Get(old); !ok {
+		t.Fatal("old-version factor did not load under its own key")
+	}
+
+	gen.Factors = stale
+	got, err := gen.GenerateMw("run", 8.1, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := stale.Stats(); misses != 1 {
+		t.Fatalf("pre-repin cache satisfied a current-version lookup (misses=%d)", misses)
+	}
+	gen.Factors = nil
+	ref, err := gen.GenerateMw("run", 8.1, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.SlipM {
+		if math.Float64bits(got.SlipM[i]) != math.Float64bits(ref.SlipM[i]) {
+			t.Fatalf("slip %d poisoned by stale-version factor: %v vs %v", i, got.SlipM[i], ref.SlipM[i])
+		}
+	}
+}
+
+// TestFactorKeyHitsAcrossMwBand: correlation lengths derive from the
+// realized patch extent, so magnitudes that round to the same patch
+// shape share one factor — Mw 8.30 and 8.31 hit the same entry.
+func TestFactorKeyHitsAcrossMwBand(t *testing.T) {
+	gen := testGenerator(t)
+	gen.Factors = NewFactorCache(8)
+	if _, err := gen.GenerateMw("run", 8.30, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.GenerateMw("run", 8.31, sim.NewRNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := gen.Factors.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("Mw 8.30/8.31 pair: %d hits %d misses, want the band to share one factor (1/1)", hits, misses)
+	}
+}

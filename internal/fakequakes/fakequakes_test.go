@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fdw/internal/geom"
+	"fdw/internal/mseed"
 	"fdw/internal/sim"
 )
 
@@ -375,7 +376,11 @@ func TestGreensToRecords(t *testing.T) {
 	if _, err := gf.ToRecords(-1); err == nil {
 		t.Fatal("negative subfault accepted")
 	}
-	if gf.EncodedSizeBytes() <= 0 {
+	size, err := gf.EncodedSizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
 		t.Fatal("non-positive encoded size")
 	}
 }
@@ -534,5 +539,89 @@ func BenchmarkGenerateRupture(b *testing.B) {
 		if _, err := g.GenerateMw("bench", 8.2, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestGreensEdgeCases pins satellite 3: ToRecords and EncodedSizeBytes
+// follow the linalg convention — data-shaped problems are errors, never
+// panics, and empty station/subfault sets are valid degenerate inputs.
+func TestGreensEdgeCases(t *testing.T) {
+	f, stations, d := smallSetup(t, 2)
+	cfg := GFConfig{Dt: 1, Nsamples: 16, VpKmS: 6.8, VsKmS: 3.9}
+	good, err := ComputeGreens(f, stations, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncKernel := &GreensFunctions{Cfg: cfg, Stations: stations, NSub: good.NSub,
+		Kernel: good.Kernel[:1]} // one station's rows missing
+	shortStation := &GreensFunctions{Cfg: cfg, Stations: stations, NSub: good.NSub,
+		Kernel: [][][3][]float64{good.Kernel[0], good.Kernel[1][:good.NSub-1]}}
+	empty := &GreensFunctions{Cfg: cfg}
+
+	cases := []struct {
+		name     string
+		g        *GreensFunctions
+		subfault int
+		wantErr  bool
+	}{
+		{"valid", good, 0, false},
+		{"last subfault", good, good.NSub - 1, false},
+		{"negative subfault", good, -1, true},
+		{"subfault == NSub", good, good.NSub, true},
+		{"subfault beyond", good, good.NSub + 7, true},
+		{"kernel missing a station", truncKernel, 0, true},
+		{"station kernel short a subfault", shortStation, 0, true},
+		{"empty set, subfault 0", empty, 0, true}, // 0 out of 0 subfaults
+	}
+	for _, tc := range cases {
+		recs, err := tc.g.ToRecords(tc.subfault)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: ToRecords returned no error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: ToRecords: %v", tc.name, err)
+			continue
+		}
+		if len(recs) != len(tc.g.Stations)*3 {
+			t.Errorf("%s: %d records, want %d", tc.name, len(recs), len(tc.g.Stations)*3)
+		}
+	}
+
+	// An empty station list is the valid degenerate case: zero records,
+	// zero bytes, no errors.
+	noStations := &GreensFunctions{Cfg: cfg, NSub: 2,
+		Kernel: [][][3][]float64{}}
+	recs, err := noStations.ToRecords(1)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stations: recs=%d err=%v, want 0 records no error", len(recs), err)
+	}
+	// Per-subfault container overhead remains; the point is no error
+	// and no payload.
+	wantEmpty := int64(noStations.NSub) * mseed.EncodedSize(nil)
+	if n, err := noStations.EncodedSizeBytes(); err != nil || n != wantEmpty {
+		t.Fatalf("empty stations: size=%d err=%v, want %d header-only bytes no error", n, err, wantEmpty)
+	}
+	if n, err := empty.EncodedSizeBytes(); err != nil || n != 0 {
+		t.Fatalf("zero-value set: size=%d err=%v, want 0 bytes no error", n, err)
+	}
+
+	// EncodedSizeBytes propagates malformed-kernel errors instead of
+	// silently truncating the total (the pre-fix behaviour).
+	if _, err := truncKernel.EncodedSizeBytes(); err == nil {
+		t.Fatal("EncodedSizeBytes swallowed a malformed kernel")
+	}
+	if _, err := shortStation.EncodedSizeBytes(); err == nil {
+		t.Fatal("EncodedSizeBytes swallowed a short station kernel")
+	}
+	negative := &GreensFunctions{Cfg: cfg, NSub: -1}
+	if _, err := negative.EncodedSizeBytes(); err == nil {
+		t.Fatal("EncodedSizeBytes accepted a negative subfault count")
+	}
+	if n, err := good.EncodedSizeBytes(); err != nil || n <= 0 {
+		t.Fatalf("valid set: size=%d err=%v, want positive size no error", n, err)
 	}
 }

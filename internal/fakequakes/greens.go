@@ -58,6 +58,7 @@ type GreensFunctions struct {
 // Cost scales with stations × subfaults × samples, which is why the
 // paper's B phase "can span multiple hours" with 121 stations.
 func ComputeGreens(f *geom.Fault, stations []geom.Station, d *DistanceMatrices, cfg GFConfig) (*GreensFunctions, error) {
+	computeGreensCalls.Add(1)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,11 +163,38 @@ func radiation(azDeg, strikeDeg, dipDeg float64) [3]float64 {
 	return [3]float64{e, n, z}
 }
 
+// validate checks the kernel's internal consistency: one entry per
+// station, each holding NSub subfaults. A hand-assembled or corrupt
+// value (the cache-load failure mode) reports an error here rather
+// than panicking deep in an index expression — the linalg convention:
+// errors for data-shaped problems, panics only for caller bugs like a
+// negative index the API documents as out of contract.
+func (g *GreensFunctions) validate() error {
+	if g.NSub < 0 {
+		return fmt.Errorf("fakequakes: negative subfault count %d", g.NSub)
+	}
+	if len(g.Kernel) != len(g.Stations) {
+		return fmt.Errorf("fakequakes: kernel holds %d stations, station list %d", len(g.Kernel), len(g.Stations))
+	}
+	for s := range g.Kernel {
+		if len(g.Kernel[s]) != g.NSub {
+			return fmt.Errorf("fakequakes: station %d kernel holds %d subfaults, want %d", s, len(g.Kernel[s]), g.NSub)
+		}
+	}
+	return nil
+}
+
 // ToRecords flattens the kernels for one subfault into mseed records —
-// the unit that Phase B ships through the Stash cache.
+// the unit that Phase B ships through the Stash cache. An out-of-range
+// subfault or an inconsistent kernel is an error, never a panic; an
+// empty station list yields an empty (non-nil-error) record set, the
+// valid degenerate case.
 func (g *GreensFunctions) ToRecords(subfault int) ([]mseed.Record, error) {
 	if subfault < 0 || subfault >= g.NSub {
 		return nil, fmt.Errorf("fakequakes: subfault %d out of %d", subfault, g.NSub)
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
 	}
 	recs := make([]mseed.Record, 0, len(g.Stations)*3)
 	for s, st := range g.Stations {
@@ -186,14 +214,20 @@ func (g *GreensFunctions) ToRecords(subfault int) ([]mseed.Record, error) {
 
 // EncodedSizeBytes estimates the total .mseed payload of the full GF
 // set; the paper notes compressed GF archives "possibly exceeding 1GB".
-func (g *GreensFunctions) EncodedSizeBytes() int64 {
+// It used to swallow ToRecords errors and return a silently truncated
+// total; now a malformed kernel propagates. A GF set with zero
+// subfaults or zero stations is a valid empty payload.
+func (g *GreensFunctions) EncodedSizeBytes() (int64, error) {
+	if err := g.validate(); err != nil {
+		return 0, err
+	}
 	var total int64
 	for sf := 0; sf < g.NSub; sf++ {
 		recs, err := g.ToRecords(sf)
 		if err != nil {
-			return total
+			return 0, err
 		}
 		total += mseed.EncodedSize(recs)
 	}
-	return total
+	return total, nil
 }

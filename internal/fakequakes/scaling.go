@@ -97,3 +97,16 @@ func CorrelationLengths(mw float64) (alongKm, downKm float64) {
 	dims := ScalingLaw(mw)
 	return 0.17 * dims.LengthKm, 0.34 * dims.WidthKm
 }
+
+// PatchCorrelationLengths applies the same 0.17·L / 0.34·W fractions
+// to the *realized* patch dimensions — the scaling-law extents after
+// rounding to whole subfaults and clamping to the mesh. The covariance
+// only ever sees the quantized patch, so deriving the lengths from it
+// (instead of the continuous law, which varies with every digit of Mw)
+// makes the slip covariance — and the factor-cache key built from it —
+// invariant across the whole magnitude band that rounds to one patch
+// shape: a Mw 8.30 and a Mw 8.33 rupture on the same mesh share a
+// Cholesky factor instead of paying two O(n³) factorizations.
+func PatchCorrelationLengths(nAlong, nDown int, subfaultLenKm, subfaultWidKm float64) (alongKm, downKm float64) {
+	return 0.17 * float64(nAlong) * subfaultLenKm, 0.34 * float64(nDown) * subfaultWidKm
+}

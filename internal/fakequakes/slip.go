@@ -252,8 +252,21 @@ func (g *Generator) momentMagnitude(r *Rupture) float64 {
 // correlation over the patch subfaults.
 func (g *Generator) correlatedSlip(patch []int, mw float64, rng *sim.RNG) ([]float64, error) {
 	n := len(patch)
-	aS, aD := CorrelationLengths(mw)
 	f := g.Fault
+	// Correlation lengths derive from the realized patch extent, not
+	// the continuous scaling law: every Mw in the band that rounds to
+	// this patch shape then shares one covariance, one Cholesky factor,
+	// and one cache key (see PatchCorrelationLengths).
+	minA, maxA := f.Subfaults[patch[0]].Along, f.Subfaults[patch[0]].Along
+	minD, maxD := f.Subfaults[patch[0]].Down, f.Subfaults[patch[0]].Down
+	for _, idx := range patch {
+		s := &f.Subfaults[idx]
+		minA = min(minA, s.Along)
+		maxA = max(maxA, s.Along)
+		minD = min(minD, s.Down)
+		maxD = max(maxD, s.Down)
+	}
+	aS, aD := PatchCorrelationLengths(maxA-minA+1, maxD-minD+1, f.SubfaultLen, f.SubfaultWid)
 
 	// Recycle the O(n³) factor when an identical covariance was already
 	// factorized (same fault, kernel, correlation lengths, patch shape).

@@ -1,0 +1,35 @@
+//go:build amd64
+
+package linalg
+
+// kern4x8asm is the AVX2+FMA micro-kernel in kernel_amd64.s: the 4×8
+// c tile held in eight ymm accumulators, one VFMADD231PD per (row,
+// half-tile) per k. VFMADD's single rounding matches math.FMA exactly,
+// which is what keeps this path bit-identical to goKern4x8.
+//
+//go:noescape
+func kern4x8asm(kc int, a *float64, lda int, b *float64, c *float64, ldc int)
+
+// cpuHasAVX2FMA reports whether the CPU and OS support AVX2 and FMA3
+// (CPUID feature bits plus XGETBV confirming the OS saves ymm state).
+// Implemented in kernel_amd64.s; no x/sys/cpu dependency.
+func cpuHasAVX2FMA() bool
+
+// useAsmKern gates the assembly micro-kernel. A variable, not a const,
+// so tests can force the portable path and assert bit equality.
+var useAsmKern = cpuHasAVX2FMA()
+
+// kern4x8 applies one micro-tile update: c[0..4)[0..8) extended by the
+// kc-term fused chain against packed b. a is a 4×kc window with row
+// stride lda; b is a packed gemmNR-wide tile, k-major; c has row
+// stride ldc.
+func kern4x8(kc int, a []float64, lda int, b []float64, c []float64, ldc int) {
+	if kc <= 0 {
+		return
+	}
+	if useAsmKern {
+		kern4x8asm(kc, &a[0], lda, &b[0], &c[0], ldc)
+		return
+	}
+	goKern4x8(kc, a, lda, b, c, ldc)
+}

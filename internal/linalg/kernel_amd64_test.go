@@ -1,0 +1,44 @@
+//go:build amd64
+
+package linalg
+
+import "testing"
+
+// TestAsmKernelBitIdenticalToPortable forces the portable math.FMA
+// micro-kernel and checks the assembly path produced exactly the same
+// bits — the cross-architecture half of the determinism contract: a
+// result computed on an AVX2 host must match one from any other
+// machine bit for bit.
+func TestAsmKernelBitIdenticalToPortable(t *testing.T) {
+	if !useAsmKern {
+		t.Skip("no AVX2+FMA on this host")
+	}
+	for _, s := range [][3]int{{64, 64, 64}, {37, 129, 53}, {257, 31, 260}} {
+		a := randomMatrix(s[0], s[1], uint64(s[0]))
+		b := randomMatrix(s[1], s[2], uint64(s[1])+3)
+		asm, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		useAsmKern = false
+		pure, err := a.Mul(b)
+		useAsmKern = true
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "asm-vs-portable", pure.Data, asm.Data)
+
+		m := spdMatrix(s[0])
+		lAsm, err := Cholesky(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		useAsmKern = false
+		lPure, err := Cholesky(m)
+		useAsmKern = true
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "cholesky asm-vs-portable", lPure.Data, lAsm.Data)
+	}
+}

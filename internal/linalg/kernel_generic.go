@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package linalg
+
+// Portable fallback: every architecture without the assembly
+// micro-kernel runs goKern4x8, whose math.FMA chains round exactly
+// like the amd64 VFMADD path — the blocked kernels are bit-identical
+// across architectures, not just across worker counts.
+
+const useAsmKern = false
+
+func kern4x8(kc int, a []float64, lda int, b []float64, c []float64, ldc int) {
+	if kc <= 0 {
+		return
+	}
+	goKern4x8(kc, a, lda, b, c, ldc)
+}

@@ -102,25 +102,25 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	return y, nil
 }
 
-// Mul returns m·b. It returns an error on dimension mismatch.
+func mulDimErr(m, b *Matrix) error {
+	return fmt.Errorf("linalg: Mul dim mismatch: %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+}
+
+func cholDimErr(m *Matrix) error {
+	return fmt.Errorf("linalg: Cholesky of non-square %dx%d", m.Rows, m.Cols)
+}
+
+// Mul returns m·b. It returns an error on dimension mismatch. The
+// product is the cache-blocked kernel (blocked.go): every element is a
+// fused-multiply-add fold over k in increasing order, so Mul is
+// bit-identical to ParallelMul and across architectures; ReferenceMul
+// keeps the pre-blocking kernel as the numerical spec.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
-		return nil, fmt.Errorf("linalg: Mul dim mismatch: %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+		return nil, mulDimErr(m, b)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		// No zero-skip here: the simulation's operands are dense
-		// (covariances, distance products), where the branch costs more
-		// than the multiply it saves and defeats vectorization.
-		for k, a := range arow {
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
+	gemmAcc(m.Rows, b.Cols, m.Cols, m.Data, m.Cols, b.Data, b.Cols, false, out.Data, out.Cols, false)
 	return out, nil
 }
 
@@ -131,35 +131,12 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite
 // Cholesky computes the lower-triangular L with L·Lᵀ = m for a
 // symmetric positive-definite m. Only the lower triangle of m is read.
 // A small jitter may be added by the caller beforehand for matrices
-// that are positive semi-definite up to rounding.
+// that are positive semi-definite up to rounding. The factorization is
+// the blocked left-looking kernel (blocked.go), bit-identical to
+// ParallelCholesky; ReferenceCholesky keeps the pre-blocking kernel as
+// the numerical spec.
 func Cholesky(m *Matrix) (*Matrix, error) {
-	if m.Rows != m.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d", m.Rows, m.Cols)
-	}
-	n := m.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		var diag float64
-		ljRow := l.Data[j*n : j*n+j]
-		for _, v := range ljRow {
-			diag += v * v
-		}
-		d := m.Data[j*n+j] - diag
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		ljj := math.Sqrt(d)
-		l.Data[j*n+j] = ljj
-		for i := j + 1; i < n; i++ {
-			var s float64
-			liRow := l.Data[i*n : i*n+j]
-			for k, v := range liRow {
-				s += v * ljRow[k]
-			}
-			l.Data[i*n+j] = (m.Data[i*n+j] - s) / ljj
-		}
-	}
-	return l, nil
+	return blockedCholesky(m, false)
 }
 
 // AddDiag adds eps to every diagonal element in place and returns m.

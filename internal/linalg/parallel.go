@@ -1,31 +1,32 @@
-// Parallel, cache-blocked variants of the hot kernels (Cholesky,
-// matrix-matrix and matrix-vector products) on a shared bounded worker
-// pool sized by GOMAXPROCS.
+// Parallel variants of the hot kernels (Cholesky, matrix-matrix and
+// matrix-vector products) on a shared bounded worker pool sized by
+// GOMAXPROCS.
 //
 // Bit-identity contract: every output element is computed with exactly
-// the serial kernels' summation order — a single left-to-right
-// accumulation over k — so the parallel kernels return results that are
-// bit-identical to Cholesky/Mul/MulVec for the same input, regardless
-// of worker count. Parallelism only partitions *independent* output
-// elements (rows) across workers; it never splits or reassociates a
-// single element's reduction. This is what keeps FakeQuakes scenarios
-// deterministic by seed under GOMAXPROCS=1 vs N.
+// the serial kernels' summation order — for the blocked Mul/Cholesky a
+// fused-multiply-add fold over k in increasing order (see blocked.go),
+// for MulVec a plain left-to-right accumulation — so the parallel
+// kernels return results that are bit-identical to Cholesky/Mul/MulVec
+// for the same input, regardless of worker count. Parallelism only
+// partitions *independent* output elements (rows, row quads) across
+// workers; it never splits or reassociates a single element's
+// reduction. This is what keeps FakeQuakes scenarios deterministic by
+// seed under GOMAXPROCS=1 vs N.
 //
-// A note on the factorization shape: a classical right-looking Cholesky
-// applies trailing-submatrix updates panel by panel, which accumulates
-// each element as ((m - s1) - s2) - … and would change rounding versus
-// the serial kernel's single m - (s1+s2+…) subtraction. To stay
-// bit-identical we keep the serial (left-looking, full prefix dot)
-// arithmetic per element and instead parallelize each column's
-// independent row updates, with workers owning contiguous, cache-sized
-// row blocks.
+// Cutoff contract: each parallel entry point decides up front whether
+// fan-out can win — enough workers *and* enough arithmetic per
+// dispatch — and otherwise runs the serial kernel's exact code path,
+// dispatching nothing. poolDispatches makes that observable, and the
+// cutoff tests pin it at every benchmark-recorded size, so "parallel"
+// can never lose to serial by more than the cutoff comparison itself
+// (the pre-blocking ParallelCholesky lost ~9% at 1024 on one core by
+// paying per-column fan-out that could not pay for itself).
 package linalg
 
 import (
-	"fmt"
-	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The shared pool: GOMAXPROCS goroutines consuming closures. Started
@@ -73,6 +74,7 @@ func ParallelFor(n, minGrain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	poolDispatches.Add(1)
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -95,58 +97,37 @@ func ParallelFor(n, minGrain int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// Work thresholds below which the parallel kernels run their serial
-// inner loops: fan-out overhead beats the arithmetic for tiny inputs.
+// Work thresholds below which the parallel entry points run the serial
+// kernels' exact code path: fan-out overhead beats the arithmetic for
+// small inputs, so below these no task ever reaches the pool.
 const (
 	parallelFlopCutoff = 1 << 14 // per dispatch, roughly a few µs of math
 	rowGrain           = 8       // minimum rows per worker chunk
+	// parallelGemmMinFlops gates ParallelMul: a blocked GEMM under
+	// ~256k flops finishes in tens of µs, comparable to waking the
+	// pool for it.
+	parallelGemmMinFlops = 1 << 18
+	// parallelCholMinN gates ParallelCholesky: below this the whole
+	// factorization is sub-millisecond and the per-panel fan-out
+	// cannot recoup itself.
+	parallelCholMinN = 256
 )
 
+// poolDispatches counts ParallelFor fan-outs that actually reached the
+// pool (the inline small-n/one-worker path does not count). Tests use
+// it to pin the cutoff contract: entry points that cannot win must
+// leave it untouched.
+var poolDispatches atomic.Uint64
+
 // ParallelCholesky computes the same lower-triangular factor as
-// Cholesky, bit-identically, parallelizing each column's row updates
-// across the shared pool (see the package comment on why the trailing
-// update is not right-looking).
+// Cholesky, bit-identically: both run the blocked left-looking kernel
+// (blocked.go), and the parallel flavor fans the per-panel GEMM update
+// and independent row updates across the shared pool — unless the
+// matrix is too small or only one worker exists, in which case it *is*
+// the serial code path.
 func ParallelCholesky(m *Matrix) (*Matrix, error) {
-	if m.Rows != m.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d", m.Rows, m.Cols)
-	}
-	n := m.Rows
-	l := NewMatrix(n, n)
-	var fail bool
-	for j := 0; j < n; j++ {
-		var diag float64
-		ljRow := l.Data[j*n : j*n+j]
-		for _, v := range ljRow {
-			diag += v * v
-		}
-		d := m.Data[j*n+j] - diag
-		if d <= 0 || math.IsNaN(d) {
-			fail = true
-			break
-		}
-		ljj := math.Sqrt(d)
-		l.Data[j*n+j] = ljj
-		rows := n - (j + 1)
-		update := func(lo, hi int) {
-			for i := j + 1 + lo; i < j+1+hi; i++ {
-				var s float64
-				liRow := l.Data[i*n : i*n+j]
-				for k, v := range liRow {
-					s += v * ljRow[k]
-				}
-				l.Data[i*n+j] = (m.Data[i*n+j] - s) / ljj
-			}
-		}
-		if rows*j < parallelFlopCutoff {
-			update(0, rows)
-		} else {
-			ParallelFor(rows, rowGrain, update)
-		}
-	}
-	if fail {
-		return nil, ErrNotPositiveDefinite
-	}
-	return l, nil
+	par := runtime.GOMAXPROCS(0) > 1 && m.Rows >= parallelCholMinN
+	return blockedCholesky(m, par)
 }
 
 // ParallelMulVec returns m·x, bit-identical to MulVec, with output rows
@@ -172,30 +153,19 @@ func (m *Matrix) ParallelMulVec(x []float64) ([]float64, error) {
 	return y, nil
 }
 
-// ParallelMul returns m·b, bit-identical to Mul, with output rows
-// partitioned across the pool. Each worker's chunk keeps the serial
-// kernel's k-major accumulation order per output row, so per-element
-// rounding matches exactly; chunking rows also keeps each worker's
-// working set (its slice of m and out, streamed rows of b) cache-sized.
+// ParallelMul returns m·b, bit-identical to Mul: both run the blocked
+// kernel, and the parallel flavor partitions row quads of each panel
+// across the pool. Per-element rounding is identical by construction —
+// the fused k-fold never depends on the partition — and the cutoff
+// keeps small products on the serial code path with zero dispatches.
 func (m *Matrix) ParallelMul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return m.Mul(b) // same dimension-mismatch error
 	}
-	if m.Rows*m.Cols*b.Cols < parallelFlopCutoff {
-		return m.Mul(b)
-	}
+	par := runtime.GOMAXPROCS(0) > 1 &&
+		m.Rows >= 2*gemmMR &&
+		m.Rows*m.Cols*b.Cols >= parallelGemmMinFlops
 	out := NewMatrix(m.Rows, b.Cols)
-	ParallelFor(m.Rows, rowGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for k, a := range arow {
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += a * bv
-				}
-			}
-		}
-	})
+	gemmAcc(m.Rows, b.Cols, m.Cols, m.Data, m.Cols, b.Data, b.Cols, false, out.Data, out.Cols, par)
 	return out, nil
 }

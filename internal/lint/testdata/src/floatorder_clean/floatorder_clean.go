@@ -55,6 +55,36 @@ func CountSamples(m map[string][]float64) int {
 	return n
 }
 
+// TiledMatVec accumulates each output element through indexed slots —
+// the blocked-kernel shape: workers own disjoint row ranges, every
+// out[i] is one element's fixed-order reduction, and no accumulation
+// crosses a worker boundary. This is the structure the blocked GEMM
+// and Cholesky kernels use (internal/linalg/blocked.go).
+func TiledMatVec(a []float64, n int, x []float64, workers int) []float64 {
+	out := make([]float64, n)
+	const tile = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				for k0 := 0; k0 < n; k0 += tile {
+					k1 := k0 + tile
+					if k1 > n {
+						k1 = n
+					}
+					for k := k0; k < k1; k++ {
+						out[i] += a[i*n+k] * x[k]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
 // PerWorker accumulates into disjoint slots and reduces the partials
 // in index order — the blessed parallel-reduction shape.
 func PerWorker(xs []float64, workers int) float64 {
