@@ -5,7 +5,9 @@
 //
 //	fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all
 //	fdwexp -shard i/N [-resume] [-cells k] [-out dir] fig2|fig3|fig5|fig6|chaos
+//	fdwexp -sched workers=N [-crash-plan name] [-steal=bool] [-hedge] [-resume] [-cells k] [-out dir] fig2|...|schedmatrix
 //	fdwexp -merge [-csv dir] [-metrics path] manifest.json...
+//	fdwexp -status bundle-dir|manifest.json...
 //
 // Flags:
 //
@@ -30,6 +32,19 @@
 // interrupted one); -merge verifies a full set of shard bundles and
 // reproduces the unsharded report/CSV byte-for-byte (DESIGN.md §13).
 //
+// -sched workers=N drives a campaign through the fault-tolerant
+// scheduler (DESIGN.md §16): N logical workers under cell leases with
+// heartbeat deadlines, atomically checkpointed per-worker bundles,
+// optional scripted worker faults (-crash-plan), work-stealing
+// (-steal, default on) and straggler hedging (-hedge). The merged
+// report is byte-identical to the unsharded run under every crash
+// plan. The special campaign name schedmatrix runs the scheduler A/B
+// matrix: every standard worker plan × {no-steal, steal, steal+hedge}.
+//
+// -status inventories manifest bundles (shard or scheduler) as JSON:
+// per-bundle completion, fingerprint, and sim-clock provenance, plus
+// campaign-level coverage rollups; exit 3 when anything is resumable.
+//
 // Exit codes: 0 success, 1 error, 2 usage, 3 shard incomplete
 // (budget hit or merge of an unfinished shard — resume and retry).
 package main
@@ -46,11 +61,15 @@ import (
 	"fdw"
 	"fdw/internal/core/atomicfile"
 	"fdw/internal/expt"
+	"fdw/internal/faults"
+	"fdw/internal/sched"
 )
 
 const usageLine = `usage: fdwexp [flags] fig1|fig2|fig3|fig4|fig5|fig6|headline|ablate|policy3|elastic|chaos|all
        fdwexp -shard i/N [-resume] [-cells k] [-out dir] fig2|fig3|fig5|fig6|chaos
-       fdwexp -merge [-csv dir] [-metrics path] manifest.json...`
+       fdwexp -sched workers=N [-crash-plan name] [-steal=bool] [-hedge] [-resume] [-cells k] [-out dir] fig2|fig3|fig5|fig6|chaos|schedmatrix
+       fdwexp -merge [-csv dir] [-metrics path] manifest.json...
+       fdwexp -status bundle-dir|manifest.json...`
 
 func main() {
 	var (
@@ -61,9 +80,14 @@ func main() {
 		metrics = flag.String("metrics", "", "write a JSON metrics snapshot here after the experiments")
 		shard   = flag.String("shard", "", "run one shard i/N of a campaign and write its manifest bundle")
 		merge   = flag.Bool("merge", false, "merge shard manifest bundles into the unsharded report")
-		resume  = flag.Bool("resume", false, "with -shard: resume the existing manifest, rerunning only incomplete cells")
-		cells   = flag.Int("cells", 0, "with -shard: stop after this many cells (exit 3; -resume finishes)")
-		outDir  = flag.String("out", ".", "with -shard: directory for the manifest bundle")
+		resume  = flag.Bool("resume", false, "with -shard/-sched: resume existing bundles, rerunning only incomplete cells")
+		cells   = flag.Int("cells", 0, "with -shard/-sched: stop after this many cells (exit 3; -resume finishes)")
+		outDir  = flag.String("out", ".", "with -shard/-sched: directory for the manifest bundles")
+		schedN  = flag.String("sched", "", "run a campaign through the fault-tolerant scheduler with workers=N logical workers")
+		plan    = flag.String("crash-plan", "", "with -sched: named scripted worker-fault plan (default none)")
+		steal   = flag.Bool("steal", true, "with -sched: let other workers steal cells from expired leases")
+		hedge   = flag.Bool("hedge", false, "with -sched: hedge straggler cells with duplicate leases")
+		status  = flag.Bool("status", false, "print a JSON status report for manifest bundle dirs/files")
 	)
 	flag.Parse()
 	opt := fdw.DefaultExperimentOptions()
@@ -81,25 +105,51 @@ func main() {
 		fdw.MeterFactorCache(opt.Obs)
 	}
 
+	modes := 0
+	for _, on := range []bool{*shard != "", *merge, *schedN != "", *status} {
+		if on {
+			modes++
+		}
+	}
 	var err error
 	switch {
-	case *shard != "" && *merge:
-		err = usageErrorf("-shard and -merge are mutually exclusive")
+	case modes > 1:
+		err = usageErrorf("-shard, -merge, -sched, and -status are mutually exclusive")
 	case *shard != "":
 		if flag.NArg() != 1 {
 			err = usageErrorf("-shard needs exactly one campaign argument")
 			break
 		}
 		err = runShardCmd(opt, *shard, flag.Arg(0), *outDir, *cells, *resume)
+	case *schedN != "":
+		if flag.NArg() != 1 {
+			err = usageErrorf("-sched needs exactly one campaign argument")
+			break
+		}
+		err = runSchedCmd(opt, schedOpts{
+			spec: *schedN, plan: *plan, steal: *steal, hedge: *hedge,
+			dir: *outDir, cells: *cells, resume: *resume,
+			csvDir: *csvDir, metricsPath: *metrics,
+		}, flag.Arg(0))
 	case *merge:
 		if flag.NArg() < 1 {
 			err = usageErrorf("-merge needs at least one manifest path")
 			break
 		}
 		err = runMergeCmd(opt, *csvDir, *metrics, flag.Args())
+	case *status:
+		if flag.NArg() < 1 {
+			err = usageErrorf("-status needs at least one bundle dir or manifest path")
+			break
+		}
+		err = runStatusCmd(opt, flag.Args())
 	default:
 		if *resume || *cells != 0 {
-			err = usageErrorf("-resume and -cells only apply with -shard")
+			err = usageErrorf("-resume and -cells only apply with -shard or -sched")
+			break
+		}
+		if *plan != "" || *hedge {
+			err = usageErrorf("-crash-plan and -hedge only apply with -sched")
 			break
 		}
 		if flag.NArg() != 1 {
@@ -189,6 +239,114 @@ func runShardCmd(opt fdw.ExperimentOptions, spec, campaign, dir string, maxCells
 			index, total, campaign, m.Ledger.DoneCount(), len(m.Ledger.Nodes), path)
 	}
 	return err
+}
+
+// schedOpts carries the -sched flag bundle so runSchedCmd stays
+// callable from tests without a ten-argument signature.
+type schedOpts struct {
+	spec, plan          string
+	steal, hedge        bool
+	dir                 string
+	cells               int
+	resume              bool
+	csvDir, metricsPath string
+}
+
+// parseSchedSpec parses "workers=N" (bare "N" is accepted too).
+func parseSchedSpec(s string) (int, error) {
+	var n int
+	v := strings.TrimPrefix(s, "workers=")
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil || fmt.Sprint(n) != v || n < 1 {
+		return 0, usageErrorf("bad -sched %q, want workers=N (N >= 1)", s)
+	}
+	return n, nil
+}
+
+// runSchedCmd drives one campaign through the fault-tolerant
+// scheduler (or, for the pseudo-campaign schedmatrix, the full
+// plan × policy A/B matrix) and finalizes the merged in-memory ledger
+// through the ordinary campaign report path.
+func runSchedCmd(opt fdw.ExperimentOptions, so schedOpts, campaign string) error {
+	n, err := parseSchedSpec(so.spec)
+	if err != nil {
+		return err
+	}
+	wplan, err := faults.WorkerPlanByName(so.plan)
+	if err != nil {
+		return usageErrorf("%v", err)
+	}
+	if campaign == "schedmatrix" {
+		rows, err := sched.Matrix(opt, "fig2", n, filepath.Join(so.dir, "schedmatrix"))
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(so.csvDir, "schedmatrix.csv", func(w io.Writer) error {
+			return sched.WriteMatrixCSV(w, rows)
+		}); err != nil {
+			return err
+		}
+		if so.metricsPath != "" && opt.Obs != nil {
+			return writeMetrics(so.metricsPath, opt.Obs)
+		}
+		return nil
+	}
+	h, err := expt.OpenCampaign(campaign, opt)
+	if err != nil {
+		return err
+	}
+	res, err := sched.Run(h, sched.Config{
+		Workers:  n,
+		Steal:    so.steal,
+		Hedge:    so.hedge,
+		Plan:     wplan,
+		Dir:      so.dir,
+		MaxCells: so.cells,
+		Resume:   so.resume,
+		Obs:      opt.Obs,
+	})
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "fdwexp: sched %s: %d workers, plan %s: %d/%d cells acked, %d crashes, %d steals, bundles under %s\n",
+			campaign, n, wplan.Name, len(res.Records), len(h.CellIDs()),
+			res.Stats.WorkerCrashes, res.Stats.CellsStolen, so.dir)
+	}
+	if err != nil {
+		return err
+	}
+	mr, err := h.Finalize(nil, res.Records)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(so.csvDir, mr.CSVName, mr.WriteCSV); err != nil {
+		return err
+	}
+	if so.metricsPath != "" && opt.Obs != nil {
+		return writeMetrics(so.metricsPath, opt.Obs)
+	}
+	return nil
+}
+
+// runStatusCmd prints the JSON bundle inventory for every argument
+// (directories expand to their *.json entries). Unreadable bundles
+// exit 1; readable-but-resumable state exits 3.
+func runStatusCmd(opt fdw.ExperimentOptions, args []string) error {
+	paths, err := expt.StatusPaths(args)
+	if err != nil {
+		return err
+	}
+	rep, err := expt.Status(opt, paths)
+	if err != nil {
+		return err
+	}
+	if err := expt.WriteStatus(opt.Out, rep); err != nil {
+		return err
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("status: unreadable manifest bundle(s), see report")
+	}
+	if rep.Resumable() {
+		return fmt.Errorf("%w: resumable bundles present", expt.ErrIncomplete)
+	}
+	return nil
 }
 
 // runMergeCmd stitches shard bundles back into the unsharded report

@@ -130,6 +130,126 @@ func TestShardBudgetResumeCLI(t *testing.T) {
 	}
 }
 
+func TestParseSchedSpec(t *testing.T) {
+	for _, good := range []string{"workers=4", "4"} {
+		n, err := parseSchedSpec(good)
+		if err != nil || n != 4 {
+			t.Errorf("%q → %d %v, want 4", good, n, err)
+		}
+	}
+	for _, bad := range []string{"", "workers=", "workers=0", "workers=-2", "workers=x", "0", "w=4", "workers=4.5"} {
+		if _, err := parseSchedSpec(bad); exitCode(err) != 2 {
+			t.Errorf("%q: want usage error, got %v", bad, err)
+		}
+	}
+}
+
+// The scheduler CLI end to end: -sched under a crash plan reproduces
+// the unsharded command's stdout report and CSV byte-for-byte, and the
+// worker bundles it leaves behind merge to the same bytes.
+func TestSchedCLIRoundTrip(t *testing.T) {
+	opt := quickOpt()
+	var wantRep bytes.Buffer
+	opt.Out = &wantRep
+	wantCSVDir := t.TempDir()
+	if err := dispatch("fig2", opt, wantCSVDir); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join(wantCSVDir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sopt := quickOpt()
+	var gotRep bytes.Buffer
+	sopt.Out = &gotRep
+	bundleDir := t.TempDir()
+	gotCSVDir := t.TempDir()
+	err = runSchedCmd(sopt, schedOpts{
+		spec: "workers=3", plan: "crash-storm", steal: true,
+		dir: bundleDir, csvDir: gotCSVDir,
+	}, "fig2")
+	if err != nil {
+		t.Fatalf("sched run: %v", err)
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(gotCSVDir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantRep.Bytes(), gotRep.Bytes()) {
+		t.Errorf("sched report differs from unsharded run:\n--- want\n%s\n--- got\n%s", wantRep.Bytes(), gotRep.Bytes())
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Error("sched CSV differs from unsharded run")
+	}
+
+	var bundles []string
+	for i := 0; i < 3; i++ {
+		bundles = append(bundles, fdw.SchedWorkerBundlePath(bundleDir, "fig2", i, 3))
+	}
+	mopt := quickOpt()
+	var mergedRep bytes.Buffer
+	mopt.Out = &mergedRep
+	if err := runMergeCmd(mopt, "", "", bundles); err != nil {
+		t.Fatalf("merge of sched worker bundles: %v", err)
+	}
+	if !bytes.Equal(wantRep.Bytes(), mergedRep.Bytes()) {
+		t.Error("merged sched bundles differ from unsharded run")
+	}
+
+	// -status over the finished bundle dir: readable, complete, exit 0.
+	stopt := quickOpt()
+	var statusOut bytes.Buffer
+	stopt.Out = &statusOut
+	if err := runStatusCmd(stopt, []string{bundleDir}); err != nil {
+		t.Fatalf("status of complete sched dir: %v", err)
+	}
+	if !bytes.Contains(statusOut.Bytes(), []byte(`"leased": true`)) {
+		t.Errorf("status output does not mark bundles leased:\n%s", statusOut.Bytes())
+	}
+}
+
+// A budgeted -sched run exits resumable (code 3), -status agrees, and
+// a -resume invocation finishes from the bundles alone.
+func TestSchedBudgetResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	err := runSchedCmd(quickOpt(), schedOpts{spec: "workers=2", steal: true, dir: dir, cells: 1}, "fig2")
+	if exitCode(err) != 3 {
+		t.Fatalf("budgeted sched: err %v (exit %d), want exit 3", err, exitCode(err))
+	}
+	stopt := quickOpt()
+	stopt.Out = io.Discard
+	if err := runStatusCmd(stopt, []string{dir}); exitCode(err) != 3 {
+		t.Fatalf("status of budget-halted dir: err %v (exit %d), want exit 3", err, exitCode(err))
+	}
+	if err := runSchedCmd(quickOpt(), schedOpts{spec: "workers=2", steal: true, dir: dir, resume: true}, "fig2"); err != nil {
+		t.Fatalf("sched resume: %v", err)
+	}
+	stopt = quickOpt()
+	stopt.Out = io.Discard
+	if err := runStatusCmd(stopt, []string{dir}); err != nil {
+		t.Fatalf("status after resume: %v", err)
+	}
+}
+
+// -status with an unreadable bundle reports it and exits 1; an unknown
+// crash plan is a usage error.
+func TestSchedCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stopt := quickOpt()
+	stopt.Out = io.Discard
+	if err := runStatusCmd(stopt, []string{dir}); exitCode(err) != 1 {
+		t.Fatalf("status over junk: err %v (exit %d), want exit 1", err, exitCode(err))
+	}
+	err := runSchedCmd(quickOpt(), schedOpts{spec: "workers=2", plan: "no-such-plan", dir: t.TempDir()}, "fig2")
+	if exitCode(err) != 2 {
+		t.Fatalf("unknown crash plan: err %v (exit %d), want usage error", err, exitCode(err))
+	}
+}
+
 // -merge with a metrics rollup writes a readable snapshot.
 func TestMergeWritesMetricsRollup(t *testing.T) {
 	dir := t.TempDir()

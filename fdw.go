@@ -36,6 +36,7 @@ import (
 	"fdw/internal/obs"
 	"fdw/internal/ospool"
 	"fdw/internal/recovery"
+	"fdw/internal/sched"
 	"fdw/internal/sim"
 	"fdw/internal/vdc"
 	"fdw/internal/wtrace"
@@ -363,6 +364,53 @@ var (
 	ReadCampaignManifest      = expt.ReadCampaignManifest
 	ShardableCampaigns        = expt.ShardableCampaigns
 	ErrShardIncomplete        = expt.ErrIncomplete
+)
+
+// Fault-tolerant campaign scheduler (DESIGN.md §16): a deterministic
+// sim-clock coordinator drives N logical workers over a campaign's
+// cells under heartbeat leases, with scripted worker faults,
+// work-stealing, straggler hedging, and digest-arbitrated duplicate
+// completions. The merged report stays byte-identical to the unsharded
+// run for every crash schedule — the fdwexp -sched machinery.
+type (
+	CampaignHandle = expt.CampaignHandle
+	SchedConfig    = sched.Config
+	SchedResult    = sched.Result
+	SchedStats     = sched.Stats
+	SchedMatrixRow = sched.MatrixRow
+	WorkerPlan     = faults.WorkerPlan
+	WorkerCrash    = faults.WorkerCrash
+
+	// Bundle inventory (fdwexp -status).
+	BundleStatus         = expt.BundleStatus
+	CampaignStatus       = expt.CampaignStatus
+	CampaignStatusReport = expt.StatusReport
+)
+
+var (
+	// OpenCampaign exposes a shardable campaign's canonical cells,
+	// fingerprint, per-cell runner, and finalizer to external drivers.
+	OpenCampaign = expt.OpenCampaign
+	// RunScheduled drives a campaign through the fault-tolerant
+	// scheduler; MemoizeCampaign caches per-cell results for drivers
+	// that legitimately re-run cells.
+	RunScheduled          = sched.Run
+	MemoizeCampaign       = sched.Memoize
+	SchedWorkerBundlePath = sched.WorkerBundlePath
+	// SchedMatrix is the scheduler A/B matrix: every standard worker
+	// plan × {no-steal, steal, steal+hedge}, each arm checked
+	// byte-for-byte against the unsharded reference.
+	SchedMatrix         = sched.Matrix
+	SchedMatrixPolicies = sched.MatrixPolicies
+	WriteSchedMatrixCSV = sched.WriteMatrixCSV
+	StandardWorkerPlans = faults.StandardWorkerPlans
+	WorkerPlanByName    = faults.WorkerPlanByName
+
+	// CampaignStatusOf inventories manifest bundles (shard or
+	// scheduler) for fdwexp -status.
+	CampaignStatusOf    = expt.Status
+	CampaignStatusPaths = expt.StatusPaths
+	WriteCampaignStatus = expt.WriteStatus
 )
 
 // Scenario bundles one FakeQuakes rupture and its station waveforms.

@@ -96,12 +96,29 @@ func (f *File) Commit() error {
 		os.Remove(name)
 		return err
 	}
+	if TestHookBeforeRename != nil {
+		if err := TestHookBeforeRename(f.dest); err != nil {
+			// The torn-checkpoint kill point: the temp file is
+			// deliberately left behind, exactly as a crash between write
+			// and rename would — the destination still holds its previous
+			// complete bytes and recovery must never trust the orphan.
+			return err
+		}
+	}
 	if err := os.Rename(name, f.dest); err != nil {
 		os.Remove(name)
 		return err
 	}
 	return nil
 }
+
+// TestHookBeforeRename, when non-nil, runs after the temp file is
+// synced and closed but before the rename that publishes it. A non-nil
+// error aborts the commit with the temp file left in place, simulating
+// a kill in the narrow window between durable write and publication (a
+// torn checkpoint). Torn-checkpoint hardening tests set it; production
+// code never does.
+var TestHookBeforeRename func(dest string) error
 
 // Close aborts the write unless Commit already ran: the temp file is
 // closed and removed, and the destination is untouched. It returns

@@ -31,8 +31,16 @@ type CampaignManifest struct {
 	// Campaign names the sharded experiment (fig2, fig3, fig5, fig6,
 	// chaos).
 	Campaign string `json:"campaign"`
-	// Shard is this bundle's slot in the partition.
+	// Shard is this bundle's slot in the partition. For leased bundles
+	// (see Leased) Index/Total identify the worker in its fleet instead
+	// of a hash-partition slot.
 	Shard ShardSpec `json:"shard"`
+	// Leased marks a scheduler worker bundle: cells were assigned by
+	// coordinator leases rather than the static FNV hash partition, so
+	// any worker may own any cell. Validation skips the hash-ownership
+	// check, and merges establish coverage by union-with-digest-
+	// arbitration instead of per-shard ownership (DESIGN.md §16).
+	Leased bool `json:"leased,omitempty"`
 	// Fingerprint pins the Options the shard ran under; a merge or
 	// resume with different options must fail loudly rather than mix
 	// incompatible results.
@@ -200,7 +208,7 @@ func (m *CampaignManifest) Validate() error {
 	}
 	var done []string
 	for _, n := range m.Ledger.Nodes {
-		if shardOf(m.Campaign, n.Name, m.Shard.Total) != m.Shard.Index {
+		if !m.Leased && shardOf(m.Campaign, n.Name, m.Shard.Total) != m.Shard.Index {
 			return fmt.Errorf("expt: cell %q does not belong to shard %s of %s", n.Name, m.Shard, m.Campaign)
 		}
 		if n.Done {

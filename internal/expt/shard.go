@@ -234,13 +234,18 @@ func MergeManifests(opt Options, manifests []*CampaignManifest) (*MergeResult, e
 		return nil, err
 	}
 	total := manifests[0].Shard.Total
+	leased := manifests[0].Leased
 	byIndex := map[int]*CampaignManifest{}
+	accepted := manifests[:0:0]
 	for _, m := range manifests {
 		if err := m.Validate(); err != nil {
 			return nil, err
 		}
 		if m.Campaign != name {
 			return nil, fmt.Errorf("expt: merge: mixed campaigns %s and %s", name, m.Campaign)
+		}
+		if m.Leased != leased {
+			return nil, fmt.Errorf("expt: merge: cannot mix leased worker bundles and hash-partitioned shard bundles")
 		}
 		if m.Shard.Total != total {
 			return nil, fmt.Errorf("expt: merge: mixed partitions /%d and /%d", total, m.Shard.Total)
@@ -249,14 +254,29 @@ func MergeManifests(opt Options, manifests []*CampaignManifest) (*MergeResult, e
 			return nil, fmt.Errorf("expt: merge: shard %s fingerprint %s does not match options fingerprint %s",
 				m.Shard, m.Fingerprint, fp)
 		}
-		if dup, ok := byIndex[m.Shard.Index]; ok && dup != m {
-			return nil, fmt.Errorf("expt: merge: shard %s supplied twice", m.Shard)
+		if dup, ok := byIndex[m.Shard.Index]; ok {
+			// The same slot supplied twice is benign only if the bundles
+			// agree cell for cell; a conflict is reported by cell and
+			// digest pair, never resolved last-write-wins.
+			if cell, d1, d2, conflict := manifestConflict(dup, m); conflict {
+				return nil, fmt.Errorf("expt: merge: shard %s supplied twice with conflicting cell %q (digest %s vs %s)",
+					m.Shard, cell, d1, d2)
+			}
+			if !leased {
+				// Skip so the duplicate's metrics are not double counted.
+				continue
+			}
+			// Leased duplicates fall through to the union: checkpoints of
+			// the same worker at different times may not be subsets in a
+			// fixed direction, and worker bundles carry no metrics, so
+			// unioning both is lossless.
 		}
-		if !m.Complete() {
+		if !leased && !m.Complete() {
 			return nil, fmt.Errorf("%w: shard %s has %d of %d cells (resume it before merging)",
 				ErrIncomplete, m.Shard, m.Ledger.DoneCount(), len(m.Ledger.Nodes))
 		}
 		byIndex[m.Shard.Index] = m
+		accepted = append(accepted, m)
 	}
 
 	ids, err := c.cells(opt)
@@ -265,24 +285,60 @@ func MergeManifests(opt Options, manifests []*CampaignManifest) (*MergeResult, e
 	}
 	results := make([]any, len(ids))
 	var snaps []*obs.Snapshot
-	for _, m := range manifests {
+	for _, m := range accepted {
 		snaps = append(snaps, m.Metrics)
 	}
-	for i, id := range ids {
-		owner := shardOf(name, id, total)
-		m, ok := byIndex[owner]
-		if !ok {
-			return nil, fmt.Errorf("expt: merge: cell %q belongs to shard %d/%d, which was not supplied", id, owner, total)
+	if leased {
+		// Leased bundles carry no ownership invariant: coverage is the
+		// union of worker ledgers, and a cell checkpointed by several
+		// workers (steal races, hedged stragglers, late acks) must agree
+		// by digest — a mismatch is a determinism violation and fails
+		// the merge by cell and digest pair.
+		merged := map[string]CellRecord{}
+		mergedBy := map[string]ShardSpec{}
+		for _, m := range accepted {
+			for _, rec := range m.Cells {
+				prev, ok := merged[rec.ID]
+				if !ok {
+					merged[rec.ID] = rec
+					mergedBy[rec.ID] = m.Shard
+					continue
+				}
+				if prev.Digest != rec.Digest {
+					return nil, fmt.Errorf("expt: merge: cell %q completed with conflicting digests: %s (worker %s) vs %s (worker %s) — refusing last-write-wins",
+						rec.ID, prev.Digest, mergedBy[rec.ID], rec.Digest, m.Shard)
+				}
+			}
 		}
-		rec, ok := m.result(id)
-		if !ok {
-			return nil, fmt.Errorf("expt: merge: shard %s is missing cell %q", m.Shard, id)
+		for i, id := range ids {
+			rec, ok := merged[id]
+			if !ok {
+				return nil, fmt.Errorf("%w: cell %q not completed by any worker bundle (%d of %d cells done)",
+					ErrIncomplete, id, len(merged), len(ids))
+			}
+			v, err := c.decode(rec.Result)
+			if err != nil {
+				return nil, fmt.Errorf("expt: merge: cell %q: %w", id, err)
+			}
+			results[i] = v
 		}
-		v, err := c.decode(rec.Result)
-		if err != nil {
-			return nil, fmt.Errorf("expt: merge: cell %q: %w", id, err)
+	} else {
+		for i, id := range ids {
+			owner := shardOf(name, id, total)
+			m, ok := byIndex[owner]
+			if !ok {
+				return nil, fmt.Errorf("expt: merge: cell %q belongs to shard %d/%d, which was not supplied", id, owner, total)
+			}
+			rec, ok := m.result(id)
+			if !ok {
+				return nil, fmt.Errorf("expt: merge: shard %s is missing cell %q", m.Shard, id)
+			}
+			v, err := c.decode(rec.Result)
+			if err != nil {
+				return nil, fmt.Errorf("expt: merge: cell %q: %w", id, err)
+			}
+			results[i] = v
 		}
-		results[i] = v
 	}
 
 	rows, err := c.finalize(opt, results)
@@ -314,6 +370,23 @@ func MergeManifestFiles(opt Options, paths []string) (*MergeResult, error) {
 		manifests[i] = m
 	}
 	return MergeManifests(opt, manifests)
+}
+
+// manifestConflict compares two bundles claiming the same shard slot
+// cell by cell, returning the first cell (in b's canonical order)
+// whose stored digests disagree. Identical bundles — the same file
+// supplied twice, or byte-equal copies — are not a conflict.
+func manifestConflict(a, b *CampaignManifest) (cell, digestA, digestB string, conflict bool) {
+	inA := make(map[string]string, len(a.Cells))
+	for _, rec := range a.Cells {
+		inA[rec.ID] = rec.Digest
+	}
+	for _, rec := range b.Cells {
+		if d, ok := inA[rec.ID]; ok && d != rec.Digest {
+			return rec.ID, d, rec.Digest, true
+		}
+	}
+	return "", "", "", false
 }
 
 // marshalCell encodes one cell result for manifest storage — always

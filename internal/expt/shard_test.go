@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"fdw/internal/core/atomicfile"
+	"fdw/internal/dagman"
 	"fdw/internal/obs"
 )
 
@@ -270,9 +273,161 @@ func TestShardManifestRejection(t *testing.T) {
 	if _, err := MergeManifestFiles(opt, []string{p}); err == nil || !strings.Contains(err.Error(), "not supplied") {
 		t.Errorf("merge with missing shard: %v", err)
 	}
-	// Merge with a shard supplied twice.
-	if _, err := MergeManifestFiles(opt, []string{p, p}); err == nil || !strings.Contains(err.Error(), "twice") {
-		t.Errorf("merge with duplicate shard: %v", err)
+	// The same shard supplied twice is benign when the copies agree —
+	// the merge proceeds to complain about the genuinely missing shard,
+	// not the duplicate.
+	if _, err := MergeManifestFiles(opt, []string{p, p}); err == nil || !strings.Contains(err.Error(), "not supplied") {
+		t.Errorf("merge with identical duplicate shard: %v", err)
+	}
+}
+
+// A shard slot supplied twice with disagreeing results must fail
+// naming the cell and both digests — never resolve last-write-wins.
+func TestMergeDuplicateShardConflict(t *testing.T) {
+	const name = "fig2"
+	opt := shardTestOptions()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "m.json")
+	if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: 2, Path: p}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadCampaignManifestFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) == 0 {
+		t.Fatal("shard completed no cells")
+	}
+	// Forge an internally consistent sibling claiming the same slot with
+	// a different result for one cell.
+	victim := &m.Cells[0]
+	cell, orig := victim.ID, victim.Digest
+	victim.Result = json.RawMessage(`{"forged":true}`)
+	victim.Digest = cellDigest(victim.Result)
+	forgedPath := filepath.Join(dir, "forged.json")
+	if err := m.WriteFile(forgedPath); err != nil {
+		t.Fatal(err)
+	}
+	_, err = MergeManifestFiles(opt, []string{p, forgedPath})
+	if err == nil {
+		t.Fatal("conflicting duplicate shard merged silently")
+	}
+	for _, want := range []string{"conflicting", cell, orig, victim.Digest} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not name %q", err, want)
+		}
+	}
+}
+
+// Leased worker bundles that disagree on a cell fail the merge naming
+// both workers and digests; mixing leased and hash-partitioned bundles
+// is refused outright.
+func TestMergeLeasedArbitration(t *testing.T) {
+	opt := shardTestOptions()
+	fp, err := opt.Fingerprint("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := func(idx int, raw string) *CampaignManifest {
+		return &CampaignManifest{
+			Format:      CampaignManifestFormat,
+			Campaign:    "fig2",
+			Shard:       ShardSpec{Index: idx, Total: 2},
+			Leased:      true,
+			Fingerprint: fp,
+			Ledger: dagman.Manifest{
+				Format: dagman.ManifestFormat,
+				DAG:    "t",
+				Nodes:  []dagman.ManifestNode{{Name: "cellX", Done: true}},
+			},
+			Cells: []CellRecord{{ID: "cellX", Result: json.RawMessage(raw), Digest: cellDigest([]byte(raw))}},
+		}
+	}
+	m1, m2 := leased(1, `{"a":1}`), leased(2, `{"a":2}`)
+	_, err = MergeManifests(opt, []*CampaignManifest{m1, m2})
+	if err == nil {
+		t.Fatal("conflicting leased bundles merged silently")
+	}
+	for _, want := range []string{"cellX", m1.Cells[0].Digest, m2.Cells[0].Digest, "last-write-wins"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("leased conflict error %q does not name %q", err, want)
+		}
+	}
+
+	dir := t.TempDir()
+	p := filepath.Join(dir, "hash.json")
+	if _, err := RunShard(opt, ShardRun{Campaign: "fig2", Index: 1, Total: 2, Path: p}); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := ReadCampaignManifestFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeManifests(opt, []*CampaignManifest{m1, hash}); err == nil || !strings.Contains(err.Error(), "mix") {
+		t.Errorf("leased+hash merge: %v", err)
+	}
+}
+
+// A kill in the window between a checkpoint's temp-file write and its
+// rename leaves the previous complete manifest plus an orphan temp
+// file; -resume must recover from the last good checkpoint and never
+// trust the orphan.
+func TestShardTornCheckpointResume(t *testing.T) {
+	const name = "fig2"
+	opt := shardTestOptions()
+	opt.Workers = 1 // serialize cells so the kill point is deterministic
+	dir := t.TempDir()
+
+	ref := filepath.Join(dir, "ref.json")
+	if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: 2, Path: ref}); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := filepath.Join(dir, "m.json")
+	calls := 0
+	atomicfile.TestHookBeforeRename = func(dest string) error {
+		if dest != p {
+			return nil
+		}
+		calls++
+		if calls == 2 {
+			return errors.New("injected kill before rename")
+		}
+		return nil
+	}
+	defer func() { atomicfile.TestHookBeforeRename = nil }()
+	if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: 2, Path: p}); err == nil || !strings.Contains(err.Error(), "injected kill") {
+		t.Fatalf("torn run: %v", err)
+	}
+	atomicfile.TestHookBeforeRename = nil
+
+	// The destination is the previous complete checkpoint; the torn
+	// write survives only as an orphan temp file.
+	mid, err := ReadCampaignManifestFile(p)
+	if err != nil {
+		t.Fatalf("checkpoint after torn write unreadable: %v", err)
+	}
+	if got := mid.Ledger.DoneCount(); got != 1 {
+		t.Fatalf("checkpoint after torn write marks %d cells done, want 1", got)
+	}
+	orphans, err := filepath.Glob(p + ".tmp*")
+	if err != nil || len(orphans) == 0 {
+		t.Fatalf("no orphan temp file left by torn write (glob err %v)", err)
+	}
+
+	if _, err := RunShard(opt, ShardRun{Campaign: name, Index: 1, Total: 2, Path: p, Resume: true}); err != nil {
+		t.Fatalf("resume after torn checkpoint: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refBytes) {
+		t.Fatal("manifest resumed after torn checkpoint differs from uninterrupted run")
 	}
 }
 

@@ -86,6 +86,65 @@ func TestMergeSnapshotsDeterministic(t *testing.T) {
 	}
 }
 
+// Streamed partial merges are the scheduler's consumption pattern:
+// worker bundles arrive in whatever order leases complete, and the
+// coordinator may fold them in incrementally. Any permutation and any
+// grouping must yield identical counters and quantile estimates.
+func TestMergeSnapshotsOrderAndStreaming(t *testing.T) {
+	mk := func(seed int) *Snapshot {
+		r := NewRegistry(nil)
+		r.Counter("cells_total", "campaign", "fig2").Add(uint64(seed*3 + 1))
+		r.Counter("shard_total", "shard", string(rune('a'+seed))).Inc()
+		h := r.Histogram("cell_seconds")
+		for i := 0; i < 5+seed; i++ {
+			h.Observe(float64((seed + 1) * (i + 1)))
+		}
+		return r.Snapshot()
+	}
+	snaps := []*Snapshot{mk(0), mk(1), mk(2), mk(3)}
+	batch := MergeSnapshots(snaps...)
+
+	for _, p := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		ordered := make([]*Snapshot, len(p))
+		for i, j := range p {
+			ordered[i] = snaps[j]
+		}
+		if got := MergeSnapshots(ordered...); !reflect.DeepEqual(got, batch) {
+			t.Fatalf("merge order %v changed the rollup:\n%+v\nwant\n%+v", p, got, batch)
+		}
+	}
+
+	// Fold-left streaming: each bundle merged as it lands.
+	stream := MergeSnapshots(snaps[0])
+	for _, s := range snaps[1:] {
+		stream = MergeSnapshots(stream, s)
+	}
+	// Balanced partial merges: two half-merges merged.
+	halves := MergeSnapshots(MergeSnapshots(snaps[0], snaps[1]), MergeSnapshots(snaps[2], snaps[3]))
+
+	for _, got := range []*Snapshot{stream, halves} {
+		if !reflect.DeepEqual(got.Counters, batch.Counters) {
+			t.Fatalf("partial-merge counters differ:\n%+v\nwant\n%+v", got.Counters, batch.Counters)
+		}
+		if len(got.Histograms) != len(batch.Histograms) {
+			t.Fatalf("%d histograms, want %d", len(got.Histograms), len(batch.Histograms))
+		}
+		for i, h := range got.Histograms {
+			want := batch.Histograms[i]
+			if h.Count != want.Count || h.Sum != want.Sum || h.Min != want.Min || h.Max != want.Max {
+				t.Fatalf("partial-merge histogram moments differ: %+v vs %+v", h, want)
+			}
+			if h.P50 != want.P50 || h.P99 != want.P99 {
+				t.Fatalf("partial-merge quantile estimates differ: p50 %v vs %v, p99 %v vs %v",
+					h.P50, want.P50, h.P99, want.P99)
+			}
+			if !reflect.DeepEqual(h.Buckets, want.Buckets) {
+				t.Fatalf("partial-merge buckets differ: %+v vs %+v", h.Buckets, want.Buckets)
+			}
+		}
+	}
+}
+
 func TestMergeSnapshotJSONRoundTrip(t *testing.T) {
 	a := NewRegistry(nil)
 	a.Counter("x_total").Inc()

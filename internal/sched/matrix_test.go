@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"fdw/internal/expt"
+	"fdw/internal/faults"
+)
+
+// The A/B matrix covers every plan × policy, each arm byte-identical
+// to the unsharded reference, and renders a parseable CSV.
+func TestSchedMatrix(t *testing.T) {
+	opt := expt.DefaultOptions()
+	opt.Scale = 0.002
+	opt.Seeds = []uint64{11}
+	var out bytes.Buffer
+	opt.Out = &out
+	rows, err := Matrix(opt, "fig2", 4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(faults.StandardWorkerPlans()) * len(MatrixPolicies())
+	if len(rows) != wantRows {
+		t.Fatalf("%d matrix rows, want %d", len(rows), wantRows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("plan %q policy %q not byte-identical to unsharded run", r.Plan, r.Policy)
+		}
+		if r.Workers != 4 || r.MakespanH <= 0 {
+			t.Errorf("row %q/%q: workers=%d makespan=%v", r.Plan, r.Policy, r.Workers, r.MakespanH)
+		}
+		seen[r.Plan+"/"+r.Policy] = true
+	}
+	if len(seen) != wantRows {
+		t.Fatalf("matrix rows not unique: %d distinct of %d", len(seen), wantRows)
+	}
+	if !strings.Contains(out.String(), "Scheduler A/B matrix") {
+		t.Error("matrix table missing from report output")
+	}
+
+	// The fault plans must actually bite: at least one arm crashes, one
+	// steals, one hedges.
+	var crashes, steals, hedges uint64
+	for _, r := range rows {
+		crashes += r.Stats.WorkerCrashes
+		steals += r.Stats.CellsStolen
+		hedges += r.Stats.CellsHedged
+	}
+	if crashes == 0 || steals == 0 || hedges == 0 {
+		t.Fatalf("matrix exercised no faults: crashes=%d steals=%d hedges=%d", crashes, steals, hedges)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("matrix CSV does not parse: %v", err)
+	}
+	if len(recs) != wantRows+1 {
+		t.Fatalf("%d CSV records, want %d", len(recs), wantRows+1)
+	}
+	for i, rec := range recs {
+		if len(rec) != len(recs[0]) {
+			t.Fatalf("CSV row %d has %d fields, header has %d", i, len(rec), len(recs[0]))
+		}
+	}
+}
